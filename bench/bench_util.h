@@ -1,0 +1,71 @@
+#ifndef MV3C_BENCH_BENCH_UTIL_H_
+#define MV3C_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mv3c::bench {
+
+/// Benchmarks run at a CI-friendly scale by default; set MV3C_BENCH_FULL=1
+/// (or pass --full) for paper-scale runs.
+inline bool FullRun(int argc = 0, char** argv = nullptr) {
+  const char* env = std::getenv("MV3C_BENCH_FULL");
+  if (env != nullptr && env[0] == '1') return true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  return false;
+}
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints an aligned table row by row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    std::string line;
+    for (const auto& h : headers_) {
+      std::printf("%16s", h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) std::printf("%16s", "----");
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%16s", c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline std::string Fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+inline std::string Fmt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace mv3c::bench
+
+#endif  // MV3C_BENCH_BENCH_UTIL_H_

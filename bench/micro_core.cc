@@ -1,0 +1,190 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate operations:
+// version-chain reads at varying depths, version creation and commit,
+// predicate matching with and without the attribute-level short-circuit,
+// validation walks over the recently-committed list, cuckoo-map and
+// ordered-index operations, Zipf sampling and the trading payload cipher.
+
+#include <benchmark/benchmark.h>
+
+#include "common/cipher.h"
+#include "common/zipf.h"
+#include "index/cuckoo_map.h"
+#include "index/ordered_index.h"
+#include "mvcc/predicate.h"
+#include "mvcc/transaction_manager.h"
+
+namespace mv3c {
+namespace {
+
+struct Row {
+  int64_t a = 0;
+  int64_t b = 0;
+};
+using TestTable = Table<uint64_t, Row>;
+
+void BM_VersionChainRead(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  TransactionManager mgr;
+  TestTable table("t", 16);
+  // Build a chain of `depth` committed versions.
+  Transaction loader(&mgr);
+  mgr.Begin(&loader);
+  loader.Insert(table, 1, Row{0, 0});
+  mgr.TryCommit(&loader, [](CommittedRecord*) { return true; });
+  auto* obj = table.Find(1);
+  // Hold an old reader open so truncation cannot shorten the chain.
+  Transaction pin(&mgr);
+  mgr.Begin(&pin);
+  for (int i = 1; i < depth; ++i) {
+    Transaction t(&mgr);
+    mgr.Begin(&t);
+    t.Update(table, obj, Row{i, i}, ColumnMask::All(), false,
+             WwPolicy::kFailFast);
+    mgr.TryCommit(&t, [](CommittedRecord*) { return true; });
+  }
+  // Read with the OLD snapshot: traverses the whole chain.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obj->FindVisible(pin.start_ts(), pin.txn_id()));
+  }
+  mgr.CommitReadOnly(&pin);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionChainRead)->Arg(1)->Arg(4)->Arg(16)->Arg(40);
+
+void BM_UpdateCommit(benchmark::State& state) {
+  TransactionManager mgr;
+  TestTable table("t", 16);
+  Transaction loader(&mgr);
+  mgr.Begin(&loader);
+  loader.Insert(table, 1, Row{0, 0});
+  mgr.TryCommit(&loader, [](CommittedRecord*) { return true; });
+  auto* obj = table.Find(1);
+  int64_t i = 0;
+  for (auto _ : state) {
+    Transaction t(&mgr);
+    mgr.Begin(&t);
+    t.Update(table, obj, Row{++i, i}, ColumnMask::All(), false,
+             WwPolicy::kFailFast);
+    mgr.TryCommit(&t, [](CommittedRecord*) { return true; });
+    if ((i & 1023) == 0) mgr.CollectGarbage();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateCommit);
+
+void BM_PredicateMatch(benchmark::State& state) {
+  const bool attr = state.range(0) != 0;
+  g_attribute_level_validation.store(attr);
+  TransactionManager mgr;
+  TestTable table("t", 16);
+  Transaction loader(&mgr);
+  mgr.Begin(&loader);
+  loader.Insert(table, 1, Row{0, 0});
+  Timestamp cts;
+  mgr.TryCommit(&loader, [](CommittedRecord*) { return true; }, &cts);
+  const VersionBase* v = mgr.rc_head()->versions[0];
+  KeyEqCriterion<TestTable> pred(&table, 1);
+  pred.set_monitored(ColumnMask::Of(1));  // version modified All -> match
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.ConflictsWith(*v));
+  }
+  g_attribute_level_validation.store(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredicateMatch)->Arg(0)->Arg(1);
+
+void BM_ValidationWalk(benchmark::State& state) {
+  const int rc_len = static_cast<int>(state.range(0));
+  TransactionManager mgr;
+  TestTable table("t", 1 << 12);
+  // Seed rows, then commit rc_len transactions while a victim is active.
+  {
+    Transaction loader(&mgr);
+    mgr.Begin(&loader);
+    for (uint64_t k = 0; k < 1024; ++k) loader.Insert(table, k, Row{});
+    mgr.TryCommit(&loader, [](CommittedRecord*) { return true; });
+  }
+  Transaction victim(&mgr);
+  mgr.Begin(&victim);
+  for (int i = 0; i < rc_len; ++i) {
+    Transaction t(&mgr);
+    mgr.Begin(&t);
+    t.Update(table, table.Find(i % 1024), Row{i, i}, ColumnMask::All(),
+             false, WwPolicy::kFailFast);
+    mgr.TryCommit(&t, [](CommittedRecord*) { return true; });
+  }
+  KeyEqCriterion<TestTable> pred(&table, 9999);  // never matches
+  for (auto _ : state) {
+    bool clean = TransactionManager::ForEachConcurrentVersion(
+        mgr.rc_head(), victim.start_ts(),
+        [&](const VersionBase& v) { return !pred.ConflictsWith(v); });
+    benchmark::DoNotOptimize(clean);
+  }
+  mgr.CommitReadOnly(&victim);
+  state.SetItemsProcessed(state.iterations() * rc_len);
+}
+BENCHMARK(BM_ValidationWalk)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CuckooFind(benchmark::State& state) {
+  CuckooMap<uint64_t, uint64_t> map(1 << 16);
+  for (uint64_t k = 0; k < (1 << 16); ++k) map.Insert(k, k);
+  Xoshiro256 rng(7);
+  uint64_t out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(rng.NextBounded(1 << 16), &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooFind);
+
+void BM_CuckooInsert(benchmark::State& state) {
+  CuckooMap<uint64_t, uint64_t> map(1 << 20);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Insert(k++, k));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooInsert);
+
+void BM_OrderedIndexScan(benchmark::State& state) {
+  OrderedIndex<uint64_t, uint64_t, SinglePartition> idx;
+  for (uint64_t k = 0; k < 10000; ++k) idx.Insert(k, k);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    idx.ScanRange(4000, 4100, [&](uint64_t, uint64_t v) {
+      sum += v;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_OrderedIndexScan);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(100000, 1.4);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_CipherApply(benchmark::State& state) {
+  StreamCipher cipher(0xDEADBEEF);
+  uint8_t buf[112] = {};
+  for (auto _ : state) {
+    cipher.Apply(buf, sizeof(buf));
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * sizeof(buf));
+}
+BENCHMARK(BM_CipherApply);
+
+}  // namespace
+}  // namespace mv3c
+
+BENCHMARK_MAIN();

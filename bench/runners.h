@@ -1,0 +1,277 @@
+#ifndef MV3C_BENCH_RUNNERS_H_
+#define MV3C_BENCH_RUNNERS_H_
+
+// Shared engine runners for the figure benchmarks: each builds a fresh
+// database, replays a deterministic transaction stream through the window
+// driver (the paper's Appendix C simulated-concurrency methodology; on the
+// 1-core evaluation host this is also what the paper itself uses for the
+// window figures) and reports throughput plus engine statistics.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "driver/window_driver.h"
+#include "occ/occ_engine.h"
+#include "silo/silo_engine.h"
+#include "sv/sv_executor.h"
+#include "workloads/banking.h"
+#include "workloads/tatp.h"
+#include "workloads/tpcc.h"
+#include "workloads/tpcc_sv.h"
+#include "workloads/trading.h"
+
+namespace mv3c::bench {
+
+/// All MV3C runs use the paper's §4.3 heuristic: after this many failed
+/// validation rounds the repair executes inside the commit critical
+/// section and the transaction is guaranteed to commit, bounding the
+/// number of validation rounds a transaction can burn under extreme
+/// contention ("a heuristic is to apply this optimization after N rounds
+/// of validation failures").
+inline constexpr int kExclusiveRepairAfter = 3;
+
+inline Mv3cConfig DefaultMv3cConfig() {
+  Mv3cConfig cfg;
+  cfg.exclusive_repair_after = kExclusiveRepairAfter;
+  return cfg;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t committed = 0;
+  uint64_t user_aborted = 0;
+  uint64_t conflict_rounds = 0;  // repairs (MV3C) or restarts (others)
+  uint64_t ww_restarts = 0;
+  double Tps() const {
+    return static_cast<double>(committed) / seconds;
+  }
+};
+
+template <typename Executor, typename MakeExec, typename MakeProgram>
+RunResult Drive(size_t window, uint64_t n_txns, MakeExec&& make_exec,
+                MakeProgram&& make_program,
+                std::function<void()> maintenance) {
+  WindowDriver<Executor> driver(window, make_exec, std::move(maintenance));
+  Timer timer;
+  const DriveResult r =
+      driver.Run(CountedSource<typename Executor::Program>(
+          n_txns, make_program));
+  RunResult out;
+  out.seconds = timer.Seconds();
+  out.committed = r.committed;
+  out.user_aborted = r.user_aborted;
+  for (Executor* e : driver.executors()) {
+    if constexpr (requires { e->stats().repair_rounds; }) {
+      out.conflict_rounds += e->stats().repair_rounds;
+      out.ww_restarts += e->stats().ww_restarts;
+    } else if constexpr (requires { e->stats().ww_restarts; }) {
+      out.conflict_rounds += e->stats().validation_failures;
+      out.ww_restarts += e->stats().ww_restarts;
+    } else {
+      out.conflict_rounds += e->stats().validation_failures;
+    }
+  }
+  return out;
+}
+
+// --- Banking (Figures 7a, 7b; overhead) ---
+
+struct BankingSetup {
+  int64_t accounts = 10000;
+  int64_t initial_balance = 1'000'000;
+  int fee_percent = 100;  // % TransferMoney (rest NoFeeTransferMoney)
+  uint64_t n_txns = 100000;
+  uint64_t seed = 42;
+};
+
+inline RunResult RunBankingMv3c(size_t window, const BankingSetup& s) {
+  TransactionManager mgr;
+  banking::BankingDb db(&mgr, s.accounts, s.initial_balance);
+  db.Load();
+  banking::TransferGenerator gen(s.accounts, s.fee_percent, s.seed);
+  std::vector<banking::TransferParams> stream(s.n_txns);
+  for (auto& p : stream) p = gen.Next();
+  return Drive<Mv3cExecutor>(
+      window, s.n_txns,
+      [&](...) {
+        return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
+      },
+      [&](uint64_t i) { return banking::Mv3cTransferMoney(db, stream[i]); },
+      [&] { mgr.CollectGarbage(); });
+}
+
+inline RunResult RunBankingOmvcc(size_t window, const BankingSetup& s) {
+  TransactionManager mgr;
+  banking::BankingDb db(&mgr, s.accounts, s.initial_balance);
+  db.Load();
+  banking::TransferGenerator gen(s.accounts, s.fee_percent, s.seed);
+  std::vector<banking::TransferParams> stream(s.n_txns);
+  for (auto& p : stream) p = gen.Next();
+  return Drive<OmvccExecutor>(
+      window, s.n_txns,
+      [&](...) { return std::make_unique<OmvccExecutor>(&mgr); },
+      [&](uint64_t i) { return banking::OmvccTransferMoney(db, stream[i]); },
+      [&] { mgr.CollectGarbage(); });
+}
+
+// --- Trading (Figures 6a, 6b) ---
+
+struct TradingSetup {
+  uint64_t securities = 100000;
+  uint64_t customers = 100000;
+  double alpha = 1.4;
+  int trade_order_percent = 50;
+  uint64_t n_txns = 100000;
+  uint64_t seed = 42;
+};
+
+template <typename MakeExec, typename Executor>
+RunResult RunTradingImpl(size_t window, const TradingSetup& s,
+                         TransactionManager& mgr, trading::TradingDb& db,
+                         MakeExec&& make_exec, bool mv3c) {
+  db.Load();
+  trading::TradingGenerator gen(db, s.alpha, s.trade_order_percent, s.seed);
+  std::vector<trading::TradingGenerator::Txn> stream(s.n_txns);
+  for (auto& t : stream) t = gen.Next();
+  return Drive<Executor>(
+      window, s.n_txns, make_exec,
+      [&, mv3c](uint64_t i) -> typename Executor::Program {
+        const auto& txn = stream[i];
+        if constexpr (std::is_same_v<Executor, Mv3cExecutor>) {
+          return txn.is_trade_order ? trading::Mv3cTradeOrder(db, txn.order)
+                                    : trading::Mv3cPriceUpdate(db, txn.price);
+        } else {
+          return txn.is_trade_order
+                     ? trading::OmvccTradeOrder(db, txn.order)
+                     : trading::OmvccPriceUpdate(db, txn.price);
+        }
+      },
+      [&] { mgr.CollectGarbage(); });
+}
+
+inline RunResult RunTradingMv3c(size_t window, const TradingSetup& s) {
+  TransactionManager mgr;
+  trading::TradingDb db(&mgr, s.securities, s.customers);
+  return RunTradingImpl<std::function<std::unique_ptr<Mv3cExecutor>()>,
+                        Mv3cExecutor>(
+      window, s, mgr, db,
+      [&] {
+        return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
+      },
+      true);
+}
+
+inline RunResult RunTradingOmvcc(size_t window, const TradingSetup& s) {
+  TransactionManager mgr;
+  trading::TradingDb db(&mgr, s.securities, s.customers);
+  return RunTradingImpl<std::function<std::unique_ptr<OmvccExecutor>()>,
+                        OmvccExecutor>(
+      window, s, mgr, db,
+      [&] { return std::make_unique<OmvccExecutor>(&mgr); }, false);
+}
+
+// --- TPC-C (Figures 8a, 8b, 8c, 11) ---
+
+struct TpccSetup {
+  tpcc::TpccScale scale;
+  uint64_t n_txns = 50000;
+  uint64_t seed = 42;
+};
+
+inline std::vector<tpcc::TpccParams> TpccStream(const TpccSetup& s) {
+  tpcc::TpccGenerator gen(s.scale, s.seed);
+  std::vector<tpcc::TpccParams> stream(s.n_txns);
+  for (auto& p : stream) p = gen.Next();
+  return stream;
+}
+
+inline RunResult RunTpccMv3c(size_t window, const TpccSetup& s) {
+  TransactionManager mgr;
+  tpcc::TpccDb db(&mgr, s.scale);
+  db.Load(s.seed);
+  const auto stream = TpccStream(s);
+  return Drive<Mv3cExecutor>(
+      window, s.n_txns,
+      [&](...) {
+        return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
+      },
+      [&](uint64_t i) { return tpcc::Mv3cTpccProgram(db, stream[i]); },
+      [&] {
+        mgr.CollectGarbage();
+        db.CleanupNewOrderQueue();
+      });
+}
+
+inline RunResult RunTpccOmvcc(size_t window, const TpccSetup& s) {
+  TransactionManager mgr;
+  tpcc::TpccDb db(&mgr, s.scale);
+  db.Load(s.seed);
+  const auto stream = TpccStream(s);
+  return Drive<OmvccExecutor>(
+      window, s.n_txns,
+      [&](...) { return std::make_unique<OmvccExecutor>(&mgr); },
+      [&](uint64_t i) { return tpcc::OmvccTpccProgram(db, stream[i]); },
+      [&] {
+        mgr.CollectGarbage();
+        db.CleanupNewOrderQueue();
+      });
+}
+
+template <typename Engine>
+RunResult RunTpccSv(size_t window, const TpccSetup& s) {
+  tpcc::SvTpccDb db(s.scale);
+  db.Load(s.seed);
+  const auto stream = TpccStream(s);
+  Engine engine;
+  // SILO is per-worker in real deployments; with the single-threaded
+  // window driver one engine instance is race-free for both.
+  return Drive<SvExecutor<Engine>>(
+      window, s.n_txns,
+      [&](...) { return std::make_unique<SvExecutor<Engine>>(&engine); },
+      [&](uint64_t i) { return tpcc::SvTpccProgram(db, stream[i]); },
+      nullptr);
+}
+
+// --- TATP (Figure 10) ---
+
+struct TatpSetup {
+  uint64_t subscribers = 100000;
+  uint64_t n_txns = 200000;
+  uint64_t seed = 42;
+};
+
+inline RunResult RunTatpMv3c(size_t window, const TatpSetup& s) {
+  TransactionManager mgr;
+  tatp::TatpDb db(&mgr, s.subscribers);
+  db.Load(s.seed);
+  tatp::TatpGenerator gen(s.subscribers, s.seed);
+  std::vector<tatp::TatpParams> stream(s.n_txns);
+  for (auto& p : stream) p = gen.Next();
+  return Drive<Mv3cExecutor>(
+      window, s.n_txns,
+      [&](...) {
+        return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
+      },
+      [&](uint64_t i) { return tatp::Mv3cTatpProgram(db, stream[i]); },
+      [&] { mgr.CollectGarbage(); });
+}
+
+inline RunResult RunTatpOmvcc(size_t window, const TatpSetup& s) {
+  TransactionManager mgr;
+  tatp::TatpDb db(&mgr, s.subscribers);
+  db.Load(s.seed);
+  tatp::TatpGenerator gen(s.subscribers, s.seed);
+  std::vector<tatp::TatpParams> stream(s.n_txns);
+  for (auto& p : stream) p = gen.Next();
+  return Drive<OmvccExecutor>(
+      window, s.n_txns,
+      [&](...) { return std::make_unique<OmvccExecutor>(&mgr); },
+      [&](uint64_t i) { return tatp::OmvccTatpProgram(db, stream[i]); },
+      [&] { mgr.CollectGarbage(); });
+}
+
+}  // namespace mv3c::bench
+
+#endif  // MV3C_BENCH_RUNNERS_H_

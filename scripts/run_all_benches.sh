@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in sequence. Quick (CI) scale by default;
+# MV3C_BENCH_FULL=1 switches to paper-scale inputs.
+set -u
+BUILD_DIR="${1:-build}"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+  echo
+done

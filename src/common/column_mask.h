@@ -1,0 +1,53 @@
+#ifndef MV3C_COMMON_COLUMN_MASK_H_
+#define MV3C_COMMON_COLUMN_MASK_H_
+
+#include <cstdint>
+
+namespace mv3c {
+
+/// Bitmask over the columns of one table row, at most 64 columns.
+///
+/// Supports the attribute-level predicate validation optimization (paper
+/// §4.1): every version records which columns it modified, every predicate
+/// records which columns it monitors (selection-criterion columns plus the
+/// columns its closure consumes), and a disjoint intersection proves the
+/// version cannot invalidate the predicate without running the full match.
+class ColumnMask {
+ public:
+  constexpr ColumnMask() : bits_(0) {}
+  constexpr explicit ColumnMask(uint64_t bits) : bits_(bits) {}
+
+  /// Mask containing every column; used when column tracking is disabled
+  /// or when a predicate's consumption set is unknown (pessimistic).
+  static constexpr ColumnMask All() { return ColumnMask(~0ULL); }
+
+  /// Mask for a single column index (0-based).
+  static constexpr ColumnMask Of(int col) { return ColumnMask(1ULL << col); }
+
+  constexpr ColumnMask operator|(ColumnMask o) const {
+    return ColumnMask(bits_ | o.bits_);
+  }
+  ColumnMask& operator|=(ColumnMask o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr bool Intersects(ColumnMask o) const {
+    return (bits_ & o.bits_) != 0;
+  }
+  constexpr bool Contains(int col) const {
+    return (bits_ & (1ULL << col)) != 0;
+  }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr uint64_t bits() const { return bits_; }
+
+  friend constexpr bool operator==(ColumnMask a, ColumnMask b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_COMMON_COLUMN_MASK_H_

@@ -1,0 +1,35 @@
+#ifndef MV3C_COMMON_MACROS_H_
+#define MV3C_COMMON_MACROS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// Size of a cache line on the target platform, used to pad hot shared
+/// atomics so that independent counters do not false-share.
+#define MV3C_CACHELINE_SIZE 64
+
+#define MV3C_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define MV3C_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+/// Aborts the process with a message when an internal invariant is broken.
+/// The library does not use C++ exceptions; invariant violations are
+/// programmer errors and terminate the process, following the style guide.
+#define MV3C_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (MV3C_UNLIKELY(!(cond))) {                                         \
+      std::fprintf(stderr, "MV3C_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define MV3C_DCHECK(cond) MV3C_CHECK(cond)
+#else
+#define MV3C_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // MV3C_COMMON_MACROS_H_

@@ -1,0 +1,14 @@
+#include "common/nurand.h"
+
+namespace mv3c {
+
+uint64_t TatpAConstant(uint64_t n) {
+  // TATP spec: A = 65535 for population 1,000,000. For smaller populations
+  // the non-uniformity constant shrinks so that A < n; use the largest
+  // (2^k - 1) strictly below n, capped at 65535.
+  uint64_t a = 65535;
+  while (a >= n && a > 1) a >>= 1;
+  return a;
+}
+
+}  // namespace mv3c

@@ -1,0 +1,40 @@
+#ifndef MV3C_COMMON_NURAND_H_
+#define MV3C_COMMON_NURAND_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace mv3c {
+
+/// Non-uniform random generators for the TPC-C and TATP benchmarks.
+///
+/// TPC-C clause 2.1.6 defines NURand(A, x, y) = (((random(0,A) |
+/// random(x,y)) + C) % (y - x + 1)) + x, with per-run constants C. TATP
+/// (v1.0, §2.2) selects subscriber ids with the same construction using
+/// A = 65535 for a 1M-subscriber (scale factor 1) database; for smaller
+/// populations A scales down proportionally.
+class NuRand {
+ public:
+  /// Creates a generator with the given run constant `c`.
+  explicit NuRand(uint64_t c) : c_(c) {}
+
+  /// NURand(A, x, y) as defined by TPC-C clause 2.1.6.
+  uint64_t Next(Xoshiro256& rng, uint64_t a, uint64_t x, uint64_t y) const {
+    const uint64_t r1 = rng.NextBounded(a + 1);
+    const uint64_t r2 = x + rng.NextBounded(y - x + 1);
+    return (((r1 | r2) + c_) % (y - x + 1)) + x;
+  }
+
+ private:
+  uint64_t c_;
+};
+
+/// Returns the TATP "A" constant for a subscriber population of size `n`,
+/// per the TATP benchmark description (65535 for 1M subscribers, scaled
+/// down to the nearest smaller power-of-two-minus-one for smaller n).
+uint64_t TatpAConstant(uint64_t n);
+
+}  // namespace mv3c
+
+#endif  // MV3C_COMMON_NURAND_H_

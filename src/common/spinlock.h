@@ -1,0 +1,40 @@
+#ifndef MV3C_COMMON_SPINLOCK_H_
+#define MV3C_COMMON_SPINLOCK_H_
+
+#include <atomic>
+
+namespace mv3c {
+
+/// Tiny test-and-test-and-set spin lock.
+///
+/// Used for short critical sections (index shards, version-chain surgery)
+/// where a futex-based mutex would dominate the protected work. Satisfies
+/// the BasicLockable requirements so it composes with std::lock_guard.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_COMMON_SPINLOCK_H_

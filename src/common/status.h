@@ -1,0 +1,56 @@
+#ifndef MV3C_COMMON_STATUS_H_
+#define MV3C_COMMON_STATUS_H_
+
+namespace mv3c {
+
+/// Outcome of executing one round of a transaction program body.
+///
+/// The concurrency-control engines never use C++ exceptions; transaction
+/// program bodies report their fate through this enum and the engine reacts
+/// (commit attempt, rollback, restart, or repair).
+enum class ExecStatus {
+  /// The program body ran to completion; the transaction may attempt commit.
+  kOk,
+  /// The program requested a rollback (e.g. insufficient funds). The
+  /// transaction is rolled back and NOT restarted: this is a user abort.
+  kUserAbort,
+  /// A write-write conflict was detected under the fail-fast policy. The
+  /// transaction is rolled back and restarted from scratch with a new
+  /// start timestamp.
+  kWriteWriteConflict,
+};
+
+/// Outcome of driving a transaction to completion (including restarts or
+/// repair rounds, depending on the engine).
+enum class TxnOutcome {
+  /// Committed successfully.
+  kCommitted,
+  /// Rolled back on the program's own request; never restarted.
+  kUserAborted,
+};
+
+/// Outcome of one executor step (one slice of work under a driver). Shared
+/// by all engines so that the threaded and window drivers are generic.
+enum class StepResult {
+  kCommitted,
+  kUserAborted,
+  /// The transaction needs another step: validation failed (repair or
+  /// restart pending) or it hit a fail-fast write-write conflict.
+  kNeedsRetry,
+};
+
+inline const char* ToString(ExecStatus s) {
+  switch (s) {
+    case ExecStatus::kOk:
+      return "Ok";
+    case ExecStatus::kUserAbort:
+      return "UserAbort";
+    case ExecStatus::kWriteWriteConflict:
+      return "WriteWriteConflict";
+  }
+  return "?";
+}
+
+}  // namespace mv3c
+
+#endif  // MV3C_COMMON_STATUS_H_

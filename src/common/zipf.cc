@@ -1,0 +1,29 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace mv3c {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha)
+    : n_(n), alpha_(alpha), cdf_(n) {
+  MV3C_CHECK(n > 0);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = sum;
+  }
+  const double inv = 1.0 / sum;
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] *= inv;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfGenerator::Next(Xoshiro256& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace mv3c

@@ -1,0 +1,36 @@
+#ifndef MV3C_COMMON_ZIPF_H_
+#define MV3C_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace mv3c {
+
+/// Zipf-distributed integer generator over [0, n).
+///
+/// The Trading benchmark (paper Example 5) draws security ids from a Zipf
+/// distribution whose alpha parameter controls the conflict ratio
+/// (Figures 6(a) and 6(b)). This implementation precomputes the CDF once and
+/// samples by binary search, so sampling is exact for any alpha >= 0.
+class ZipfGenerator {
+ public:
+  /// Builds the CDF for `n` items with exponent `alpha`.
+  ZipfGenerator(uint64_t n, double alpha);
+
+  /// Returns a Zipf-distributed value in [0, n); rank 0 is the most popular.
+  uint64_t Next(Xoshiro256& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_COMMON_ZIPF_H_

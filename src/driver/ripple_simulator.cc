@@ -1,0 +1,60 @@
+#include "driver/ripple_simulator.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace mv3c {
+
+RippleSimulator::Summary RippleSimulator::Run(const Params& params) {
+  Summary out;
+  // Arrival times of both streams, merged. Transactions draw their start
+  // timestamp when issued (the stream is the client) and execute on the
+  // worker in FIFO order.
+  std::vector<uint64_t> arrivals;
+  arrivals.reserve(params.n_fast + 16);
+  for (uint64_t i = 0; i < params.n_fast; ++i) {
+    arrivals.push_back(i * params.fast_period);
+  }
+  const uint64_t horizon = params.n_fast * params.fast_period;
+  const uint64_t n_slow = params.n_slow != 0
+                              ? params.n_slow
+                              : 1 + horizon / params.slow_period;
+  for (uint64_t i = 0; i < n_slow; ++i) {
+    arrivals.push_back(i * params.slow_period);
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end());
+
+  out.txns.resize(arrivals.size());
+  uint64_t worker_free_at = 0;
+  uint64_t last_commit = 0;
+  bool any_commit = false;
+  double sum = 0;
+  for (uint32_t i = 0; i < arrivals.size(); ++i) {
+    TxnResult& r = out.txns[i];
+    r.arrival = arrivals[i];
+    const uint64_t begin = std::max(worker_free_at, r.arrival);
+    uint64_t attempt = begin + params.exec_cost;
+    // Validation: did any transaction commit during this transaction's
+    // lifetime (start timestamp drawn at arrival)? While a backlog exists
+    // the predecessor always did — the ripple. The retry re-timestamps at
+    // the failed attempt; with a single worker nobody commits during the
+    // repair, so one retry suffices.
+    if (any_commit && last_commit > r.arrival && last_commit <= attempt) {
+      ++r.retries;
+      ++out.total_retries;
+      attempt += params.retry_cost;
+    }
+    r.commit = attempt;
+    last_commit = attempt;
+    any_commit = true;
+    worker_free_at = attempt;
+    out.makespan = std::max(out.makespan, attempt);
+    sum += static_cast<double>(r.Latency());
+    out.max_latency = std::max(out.max_latency, r.Latency());
+  }
+  out.mean_latency = sum / static_cast<double>(out.txns.size());
+  return out;
+}
+
+}  // namespace mv3c

@@ -1,0 +1,93 @@
+#ifndef MV3C_DRIVER_THREAD_DRIVER_H_
+#define MV3C_DRIVER_THREAD_DRIVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "driver/window_driver.h"
+
+namespace mv3c {
+
+/// Multi-threaded driver: a fixed pool of worker threads consumes a queue
+/// of transactions (paper §6.1.1: "a fixed number of worker threads for
+/// handling a queue of transactions"). Each worker owns one executor and
+/// drives each transaction to completion (commit or user abort), retrying
+/// through repair/restart as its engine dictates.
+///
+/// `Executor` must provide: Reset(Program), Begin(), Step() -> StepResult.
+template <typename Executor>
+class ThreadDriver {
+ public:
+  using Program = typename Executor::Program;
+
+  /// `make_executor(worker_id)` creates the per-worker executor;
+  /// `program_at(txn_index, worker_id)` generates the i-th transaction.
+  /// Worker 0 runs `maintenance` every ~1024 of its own completions.
+  template <typename MakeExecutor, typename ProgramAt>
+  static DriveResult Run(size_t num_threads, uint64_t num_txns,
+                         MakeExecutor&& make_executor, ProgramAt&& program_at,
+                         std::function<void()> maintenance = nullptr,
+                         std::vector<std::unique_ptr<Executor>>* out_executors =
+                             nullptr) {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> committed{0}, user_aborted{0}, steps{0};
+    std::vector<std::unique_ptr<Executor>> executors;
+    executors.reserve(num_threads);
+    for (size_t w = 0; w < num_threads; ++w) {
+      executors.push_back(make_executor(w));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto worker = [&](size_t w) {
+      Executor& exec = *executors[w];
+      uint64_t local_commits = 0, local_aborts = 0, local_steps = 0;
+      uint64_t since_maintenance = 0;
+      while (true) {
+        const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_txns) break;
+        exec.Reset(program_at(i, w));
+        exec.Begin();
+        StepResult r;
+        do {
+          ++local_steps;
+          r = exec.Step();
+        } while (r == StepResult::kNeedsRetry);
+        if (r == StepResult::kCommitted) {
+          ++local_commits;
+        } else {
+          ++local_aborts;
+        }
+        if (w == 0 && maintenance != nullptr &&
+            ++since_maintenance >= 1024) {
+          since_maintenance = 0;
+          maintenance();
+        }
+      }
+      committed.fetch_add(local_commits, std::memory_order_relaxed);
+      user_aborted.fetch_add(local_aborts, std::memory_order_relaxed);
+      steps.fetch_add(local_steps, std::memory_order_relaxed);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t w = 0; w < num_threads; ++w) threads.emplace_back(worker, w);
+    for (auto& t : threads) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    DriveResult result;
+    result.committed = committed.load();
+    result.user_aborted = user_aborted.load();
+    result.steps = steps.load();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (out_executors != nullptr) *out_executors = std::move(executors);
+    return result;
+  }
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_DRIVER_THREAD_DRIVER_H_

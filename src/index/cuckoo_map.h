@@ -1,0 +1,401 @@
+#ifndef MV3C_INDEX_CUCKOO_MAP_H_
+#define MV3C_INDEX_CUCKOO_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/spinlock.h"
+
+namespace mv3c {
+
+/// Concurrent bucketized cuckoo hash map with lock striping.
+///
+/// This is the primary-key index used by every MVCC table, modeled on the
+/// concurrent cuckoo hashing design the paper cites for its table
+/// implementation (§5, "each table is implemented as a concurrent cuckoo
+/// hash-map of primary keys to data objects").
+///
+/// Design:
+///   * Buckets hold kSlotsPerBucket entries; each key has two candidate
+///     buckets derived from one hash (partial-key cuckoo hashing, so the
+///     alternate bucket is computable from the stored hash alone).
+///   * A fixed array of spin locks is striped over buckets; operations lock
+///     the (one or two) involved buckets in stripe order, so there is no
+///     global lock on the fast path.
+///   * Inserts displace entries along a BFS-discovered cuckoo path of
+///     bounded depth; if no path exists the table doubles in size under a
+///     full-table lock. Operations detect a concurrent resize by observing a
+///     changed bucket mask after acquiring their stripe locks and retry.
+///
+/// Values are stored by value; MVCC tables store stable `DataObject*`
+/// pointers so references handed out remain valid across resizes.
+///
+/// Thread safety: all public member functions are thread-safe. `ForEach` is
+/// weakly consistent: it observes every entry present for the whole call and
+/// may or may not observe concurrent inserts.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class CuckooMap {
+ public:
+  static constexpr int kSlotsPerBucket = 4;
+
+  /// Creates a map with capacity for roughly `initial_capacity` entries
+  /// before the first resize.
+  explicit CuckooMap(size_t initial_capacity = 1024) {
+    size_t buckets = 16;
+    while (buckets * kSlotsPerBucket < initial_capacity * 2) buckets <<= 1;
+    buckets_.resize(buckets);
+    bucket_mask_.store(buckets - 1, std::memory_order_relaxed);
+  }
+
+  CuckooMap(const CuckooMap&) = delete;
+  CuckooMap& operator=(const CuckooMap&) = delete;
+
+  /// Inserts (key, value). Returns false (and leaves the map unchanged) if
+  /// the key is already present.
+  bool Insert(const K& key, const V& value) {
+    const uint64_t h = HashOf(key);
+    while (true) {
+      const size_t mask = Mask();
+      const size_t b1 = h & mask;
+      const size_t b2 = AltIndexOf(b1, h, mask);
+      {
+        TwoBucketGuard guard(this, b1, b2);
+        if (Mask() != mask) continue;  // resized under us; recompute
+        if (FindInBucket(b1, key) >= 0 || FindInBucket(b2, key) >= 0) {
+          return false;
+        }
+        if (TryInsertIntoBucket(b1, key, value, h) ||
+            TryInsertIntoBucket(b2, key, value, h)) {
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      // Both candidate buckets are full: displace along a cuckoo path, or
+      // grow the table if no short path exists.
+      InsertResult r = InsertWithEviction(key, value, h);
+      if (r == InsertResult::kInserted) {
+        size_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (r == InsertResult::kDuplicate) return false;
+      if (r == InsertResult::kNeedResize) Resize(mask);
+      // kRetry falls through to the top of the loop.
+    }
+  }
+
+  /// Looks up `key`. Returns true and copies the value into `*out` if found.
+  bool Find(const K& key, V* out) const {
+    const uint64_t h = HashOf(key);
+    auto* self = const_cast<CuckooMap*>(this);
+    while (true) {
+      const size_t mask = Mask();
+      const size_t b1 = h & mask;
+      const size_t b2 = AltIndexOf(b1, h, mask);
+      TwoBucketGuard guard(self, b1, b2);
+      if (Mask() != mask) continue;
+      int s = FindInBucket(b1, key);
+      if (s >= 0) {
+        *out = buckets_[b1].slots[s].value;
+        return true;
+      }
+      s = FindInBucket(b2, key);
+      if (s >= 0) {
+        *out = buckets_[b2].slots[s].value;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  /// Returns true if `key` is present.
+  bool Contains(const K& key) const {
+    V ignored;
+    return Find(key, &ignored);
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  bool Erase(const K& key) {
+    const uint64_t h = HashOf(key);
+    while (true) {
+      const size_t mask = Mask();
+      const size_t b1 = h & mask;
+      const size_t b2 = AltIndexOf(b1, h, mask);
+      TwoBucketGuard guard(this, b1, b2);
+      if (Mask() != mask) continue;
+      for (size_t b : {b1, b2}) {
+        const int s = FindInBucket(b, key);
+        if (s >= 0) {
+          buckets_[b].slots[s].occupied = false;
+          size_.fetch_sub(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+
+  /// Applies `fn(key, value)` to every entry. Weakly consistent under
+  /// concurrent mutation (locks one bucket at a time).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    auto* self = const_cast<CuckooMap*>(this);
+    for (size_t b = 0;; ++b) {
+      std::lock_guard<SpinLock> g(self->LockFor(b));
+      if (b > Mask()) break;  // bucket count can only grow
+      for (const Slot& slot : buckets_[b].slots) {
+        if (slot.occupied) fn(slot.key, slot.value);
+      }
+    }
+  }
+
+  /// Number of entries currently stored.
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Number of buckets (kSlotsPerBucket slots each); exposed for tests.
+  size_t BucketCount() const { return Mask() + 1; }
+
+ private:
+  struct Slot {
+    bool occupied = false;
+    uint64_t hash = 0;
+    K key{};
+    V value{};
+  };
+  struct Bucket {
+    Slot slots[kSlotsPerBucket];
+  };
+
+  enum class InsertResult { kInserted, kDuplicate, kNeedResize, kRetry };
+
+  /// Finalizing mixer (splitmix64): the map cannot trust the user hash to
+  /// spread entropy — std::hash for integers is the identity on common
+  /// implementations, and composite keys packed into integers often carry
+  /// all their entropy in the high bits while bucket selection uses the
+  /// low ones (without mixing, such keys pile onto one bucket pair and
+  /// resizing can never separate them).
+  static uint64_t MixHash(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  uint64_t HashOf(const K& key) const { return MixHash(hasher_(key)); }
+
+  static constexpr size_t kNumLocks = 1 << 12;
+  static constexpr int kMaxBfsNodes = 256;
+
+  size_t Mask() const { return bucket_mask_.load(std::memory_order_acquire); }
+
+  SpinLock& LockFor(size_t bucket) const {
+    return locks_[bucket & (kNumLocks - 1)];
+  }
+
+  /// Locks the stripe locks of two buckets in stripe order (deduplicating a
+  /// shared stripe) and releases them on destruction.
+  class TwoBucketGuard {
+   public:
+    TwoBucketGuard(CuckooMap* map, size_t b1, size_t b2) : map_(map) {
+      l1_ = b1 & (kNumLocks - 1);
+      l2_ = b2 & (kNumLocks - 1);
+      if (l1_ > l2_) std::swap(l1_, l2_);
+      map_->locks_[l1_].lock();
+      if (l2_ != l1_) map_->locks_[l2_].lock();
+    }
+    ~TwoBucketGuard() { Release(); }
+    void Release() {
+      if (!held_) return;
+      if (l2_ != l1_) map_->locks_[l2_].unlock();
+      map_->locks_[l1_].unlock();
+      held_ = false;
+    }
+
+   private:
+    CuckooMap* map_;
+    size_t l1_, l2_;
+    bool held_ = true;
+  };
+
+  /// Partial-key cuckoo hashing: the alternate bucket is derived from the
+  /// current bucket and the hash, so it can be recomputed during eviction
+  /// without rehashing the key. xor keeps the mapping an involution.
+  static size_t AltIndexOf(size_t index, uint64_t h, size_t mask) {
+    const uint64_t tag = (h >> 32) | 1;
+    return (index ^ (tag * 0x5BD1E995ULL)) & mask;
+  }
+
+  int FindInBucket(size_t b, const K& key) const {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      const Slot& slot = buckets_[b].slots[s];
+      if (slot.occupied && slot.key == key) return s;
+    }
+    return -1;
+  }
+
+  bool TryInsertIntoBucket(size_t b, const K& key, const V& value,
+                           uint64_t h) {
+    for (int s = 0; s < kSlotsPerBucket; ++s) {
+      Slot& slot = buckets_[b].slots[s];
+      if (!slot.occupied) {
+        slot.occupied = true;
+        slot.hash = h;
+        slot.key = key;
+        slot.value = value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// One node of the BFS displacement search: (bucket, slot) whose occupant
+  /// would move to its alternate bucket.
+  struct PathEntry {
+    size_t bucket;
+    int slot;
+    int parent;  // index into the BFS frontier, -1 for roots
+  };
+
+  /// Attempts to make room by evicting along a BFS path of bounded size,
+  /// then inserts. Serialized by `evict_lock_` (evictions are rare); bucket
+  /// locks are still taken for each displacement so readers stay correct.
+  InsertResult InsertWithEviction(const K& key, const V& value, uint64_t h) {
+    std::lock_guard<SpinLock> evict_guard(evict_lock_);
+    const size_t mask = Mask();
+    const size_t b1 = h & mask;
+    const size_t b2 = AltIndexOf(b1, h, mask);
+
+    // BFS over displacement candidates starting from both home buckets.
+    std::vector<PathEntry> frontier;
+    frontier.reserve(kMaxBfsNodes + 2 * kSlotsPerBucket);
+    for (size_t b : {b1, b2}) {
+      for (int s = 0; s < kSlotsPerBucket; ++s) {
+        frontier.push_back({b, s, -1});
+      }
+    }
+    int found = -1;
+    for (size_t head = 0;
+         head < frontier.size() && frontier.size() < kMaxBfsNodes; ++head) {
+      const PathEntry e = frontier[head];
+      size_t target;
+      {
+        std::lock_guard<SpinLock> g(LockFor(e.bucket));
+        if (Mask() != mask) return InsertResult::kRetry;
+        const Slot& slot = buckets_[e.bucket].slots[e.slot];
+        if (!slot.occupied) {
+          found = static_cast<int>(head);
+          break;
+        }
+        target = AltIndexOf(e.bucket, slot.hash, mask);
+      }
+      {
+        std::lock_guard<SpinLock> g(LockFor(target));
+        if (Mask() != mask) return InsertResult::kRetry;
+        bool has_free = false;
+        for (int s = 0; s < kSlotsPerBucket; ++s) {
+          if (!buckets_[target].slots[s].occupied) {
+            frontier.push_back({target, s, static_cast<int>(head)});
+            found = static_cast<int>(frontier.size()) - 1;
+            has_free = true;
+            break;
+          }
+        }
+        if (!has_free) {
+          for (int s = 0; s < kSlotsPerBucket; ++s) {
+            frontier.push_back({target, s, static_cast<int>(head)});
+          }
+        }
+      }
+      if (found >= 0) break;
+    }
+    if (found < 0) return InsertResult::kNeedResize;
+
+    // Walk the path backwards, moving occupants one hop towards the free
+    // slot. Each hop locks the pair of buckets involved.
+    int cur = found;
+    while (frontier[cur].parent >= 0) {
+      const PathEntry& dst = frontier[cur];
+      const PathEntry& src = frontier[frontier[cur].parent];
+      TwoBucketGuard g(this, src.bucket, dst.bucket);
+      if (Mask() != mask) return InsertResult::kRetry;
+      Slot& from = buckets_[src.bucket].slots[src.slot];
+      Slot& to = buckets_[dst.bucket].slots[dst.slot];
+      if (to.occupied || !from.occupied ||
+          AltIndexOf(src.bucket, from.hash, mask) != dst.bucket) {
+        // A concurrent erase/insert changed the landscape; retry outside.
+        return InsertResult::kRetry;
+      }
+      to = from;
+      from.occupied = false;
+      cur = frontier[cur].parent;
+    }
+    // The root slot (in one of the home buckets) is now free.
+    const PathEntry& root = frontier[cur];
+    TwoBucketGuard g(this, b1, b2);
+    if (Mask() != mask) return InsertResult::kRetry;
+    if (FindInBucket(b1, key) >= 0 || FindInBucket(b2, key) >= 0) {
+      return InsertResult::kDuplicate;
+    }
+    Slot& slot = buckets_[root.bucket].slots[root.slot];
+    if (slot.occupied) return InsertResult::kRetry;
+    slot.occupied = true;
+    slot.hash = h;
+    slot.key = key;
+    slot.value = value;
+    return InsertResult::kInserted;
+  }
+
+  /// Doubles the bucket array under the eviction lock plus every stripe
+  /// lock. No-op if another thread already resized past `observed_mask`.
+  void Resize(size_t observed_mask) {
+    std::lock_guard<SpinLock> evict_guard(evict_lock_);
+    for (size_t i = 0; i < kNumLocks; ++i) locks_[i].lock();
+    if (Mask() != observed_mask) {
+      for (size_t i = kNumLocks; i-- > 0;) locks_[i].unlock();
+      return;
+    }
+    std::vector<Bucket> old = std::move(buckets_);
+    size_t new_count = old.size();
+    while (true) {
+      new_count *= 2;
+      buckets_.assign(new_count, Bucket{});
+      const size_t new_mask = new_count - 1;
+      bool ok = true;
+      for (const Bucket& bucket : old) {
+        for (const Slot& slot : bucket.slots) {
+          if (!slot.occupied) continue;
+          const size_t nb1 = slot.hash & new_mask;
+          const size_t nb2 = AltIndexOf(nb1, slot.hash, new_mask);
+          if (!TryInsertIntoBucket(nb1, slot.key, slot.value, slot.hash) &&
+              !TryInsertIntoBucket(nb2, slot.key, slot.value, slot.hash)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (ok) break;
+      // Both home buckets full right after doubling is vanishingly rare;
+      // double again rather than running eviction inside the resize.
+    }
+    bucket_mask_.store(buckets_.size() - 1, std::memory_order_release);
+    for (size_t i = kNumLocks; i-- > 0;) locks_[i].unlock();
+  }
+
+  Hash hasher_;
+  std::vector<Bucket> buckets_;
+  std::atomic<size_t> bucket_mask_;
+  mutable SpinLock locks_[kNumLocks];
+  SpinLock evict_lock_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_INDEX_CUCKOO_MAP_H_

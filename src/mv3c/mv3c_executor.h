@@ -1,0 +1,167 @@
+#ifndef MV3C_MV3C_MV3C_EXECUTOR_H_
+#define MV3C_MV3C_MV3C_EXECUTOR_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "mv3c/mv3c_transaction.h"
+
+namespace mv3c {
+
+/// Drives one logical MV3C transaction through the lifecycle of paper
+/// Figure 4: Start -> Execution -> Validation -> (Commit | Repair ->
+/// Validation ...), with fail-fast write-write conflicts causing a full
+/// rollback-and-restart and user aborts terminating the transaction.
+///
+/// The executor is deliberately *step*-based: `Begin()` draws the start
+/// timestamp; each `Step()` performs the pending work (first execution,
+/// repair, or restart re-execution) followed by one commit attempt. The
+/// multi-threaded driver loops `Step()` until completion; the window driver
+/// (Appendix C simulated concurrency) interleaves steps of many executors,
+/// moving transactions that fail to the next window exactly as the paper
+/// describes.
+class Mv3cExecutor {
+ public:
+  using Program = std::function<ExecStatus(Mv3cTransaction&)>;
+
+  Mv3cExecutor(TransactionManager* mgr, Mv3cConfig config = {})
+      : config_(config), txn_(mgr) {}
+
+  /// Installs the program of the next logical transaction.
+  void Reset(Program program) {
+    program_ = std::move(program);
+    phase_ = Phase::kExecute;
+    failed_rounds_ = 0;
+    txn_.ResetGraph();  // drop any graph left from the previous transaction
+  }
+
+  /// Starts the transaction (draws start timestamp and transaction id).
+  void Begin() { txn_.manager()->Begin(&txn_.inner()); }
+
+  /// Performs the pending work and one validation/commit attempt.
+  StepResult Step() {
+    ExecStatus st = ExecStatus::kOk;
+    switch (phase_) {
+      case Phase::kExecute:
+      case Phase::kRestart:
+        st = txn_.RunProgram(program_);
+        break;
+      case Phase::kRepair:
+        st = txn_.Repair();
+        break;
+    }
+    if (st == ExecStatus::kUserAbort) return FinishUserAbort();
+    if (st == ExecStatus::kWriteWriteConflict) return BeginRestart();
+
+    if (txn_.ReadOnly()) {
+      txn_.manager()->CommitReadOnly(&txn_.inner());
+      last_commit_ts_ = txn_.inner().start_ts();
+      ++txn_.stats().commits;
+      txn_.ResetGraph();
+      return StepResult::kCommitted;
+    }
+
+    const bool exclusive =
+        config_.exclusive_repair_after >= 0 &&
+        failed_rounds_ >= config_.exclusive_repair_after;
+
+    if (exclusive) {
+      // §4.3: the bulk of validation still runs outside the lock (marking
+      // only); the in-lock pass covers the delta, and if anything is
+      // invalid the repair itself runs inside the critical section so the
+      // transaction is guaranteed to commit right after.
+      ++txn_.stats().exclusive_repairs;
+      txn_.PrevalidateAndMark();
+      const ExecStatus xs = txn_.manager()->TryCommitExclusive(
+          &txn_.inner(),
+          [this](CommittedRecord* head) {
+            const bool delta_clean = txn_.ValidateAndMark(head);
+            return delta_clean && !txn_.HasInvalidPredicates();
+          },
+          [this]() {
+            ++txn_.stats().validation_failures;
+            return txn_.Repair();
+          },
+          &last_commit_ts_);
+      if (xs == ExecStatus::kOk) {
+        ++txn_.stats().commits;
+        txn_.ResetGraph();
+        return StepResult::kCommitted;
+      }
+      if (xs == ExecStatus::kUserAbort) return FinishUserAbort();
+      return BeginRestart();
+    }
+    if (!txn_.PrevalidateAndMark()) {
+      // Conflicts found outside the critical section: draw the new start
+      // timestamp (§2.5) and repair in the next step.
+      txn_.manager()->Retimestamp(&txn_.inner());
+      return FailRound();
+    }
+    if (txn_.manager()->TryCommit(
+            &txn_.inner(),
+            [this](CommittedRecord* head) {
+              return txn_.ValidateAndMark(head);
+            },
+            &last_commit_ts_)) {
+      ++txn_.stats().commits;
+      txn_.ResetGraph();
+      return StepResult::kCommitted;
+    }
+    return FailRound();
+  }
+
+  /// Convenience driver: runs the transaction to completion.
+  StepResult Run(Program program) {
+    Reset(std::move(program));
+    Begin();
+    StepResult r;
+    do {
+      r = Step();
+    } while (r == StepResult::kNeedsRetry);
+    return r;
+  }
+
+  Mv3cTransaction& txn() { return txn_; }
+  const Mv3cStats& stats() const {
+    return const_cast<Mv3cExecutor*>(this)->txn_.stats();
+  }
+  Timestamp last_commit_ts() const { return last_commit_ts_; }
+
+ private:
+  enum class Phase { kExecute, kRepair, kRestart };
+
+  StepResult FinishUserAbort() {
+    txn_.RollbackAll();
+    txn_.manager()->FinishAborted(&txn_.inner());
+    ++txn_.stats().user_aborts;
+    return StepResult::kUserAborted;
+  }
+
+  StepResult BeginRestart() {
+    txn_.RollbackAll();
+    txn_.manager()->Restart(&txn_.inner());
+    ++txn_.stats().ww_restarts;
+    phase_ = Phase::kRestart;
+    return StepResult::kNeedsRetry;
+  }
+
+  StepResult FailRound() {
+    ++txn_.stats().validation_failures;
+    ++failed_rounds_;
+    phase_ = Phase::kRepair;
+    return StepResult::kNeedsRetry;
+  }
+
+  Mv3cConfig config_;
+  Mv3cTransaction txn_;
+  Program program_;
+  Phase phase_ = Phase::kExecute;
+  int failed_rounds_ = 0;
+  Timestamp last_commit_ts_ = 0;
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_MV3C_MV3C_EXECUTOR_H_

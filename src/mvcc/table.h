@@ -1,0 +1,101 @@
+#ifndef MV3C_MVCC_TABLE_H_
+#define MV3C_MVCC_TABLE_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/spinlock.h"
+#include "index/cuckoo_map.h"
+#include "mvcc/data_object.h"
+#include "mvcc/version.h"
+
+namespace mv3c {
+
+/// Type-erased table interface. Versions reference their table so that
+/// engine-generic code (validation, garbage collection) can dispatch back
+/// to typed operations.
+class TableBase {
+ public:
+  explicit TableBase(std::string name, WwPolicy policy)
+      : name_(std::move(name)), ww_policy_(policy) {}
+  TableBase(const TableBase&) = delete;
+  TableBase& operator=(const TableBase&) = delete;
+  virtual ~TableBase() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Write-write conflict policy for updates of this table (paper §2.3.1:
+  /// configurable system-wide or table-wide, overridable per operation).
+  WwPolicy ww_policy() const { return ww_policy_; }
+  void set_ww_policy(WwPolicy p) { ww_policy_ = p; }
+
+ private:
+  const std::string name_;
+  WwPolicy ww_policy_;
+};
+
+/// An in-memory multi-version table: a concurrent cuckoo hash map from
+/// primary keys to data objects, each holding a version chain (paper §5).
+///
+/// Data objects are allocated from an append-only arena (std::deque) so
+/// their addresses stay stable for the lifetime of the table; logical
+/// deletion happens through tombstone versions, never by removing objects.
+template <typename K, typename RowT>
+class Table : public TableBase {
+ public:
+  using Key = K;
+  using Row = RowT;
+  using Object = DataObject<K, RowT>;
+
+  Table(std::string name, size_t expected_rows = 1024,
+        WwPolicy policy = WwPolicy::kFailFast)
+      : TableBase(std::move(name), policy), index_(expected_rows) {}
+
+  /// Returns the data object for `key`, or nullptr if no row with this key
+  /// was ever inserted.
+  Object* Find(const K& key) const {
+    Object* obj = nullptr;
+    index_.Find(key, &obj);
+    return obj;
+  }
+
+  /// Returns the data object for `key`, creating an empty one (no versions)
+  /// if absent. Used by inserts.
+  Object* GetOrCreate(const K& key) {
+    Object* obj = nullptr;
+    if (index_.Find(key, &obj)) return obj;
+    Object* fresh = Allocate(key);
+    if (index_.Insert(key, fresh)) return fresh;
+    // Lost the race; the winner's object is authoritative. The loser stays
+    // in the arena unused (objects are arena-owned and cheap).
+    index_.Find(key, &obj);
+    return obj;
+  }
+
+  /// Applies `fn(Object&)` to every data object (weakly consistent under
+  /// concurrent inserts). Scans filter visibility per object themselves.
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) const {
+    index_.ForEach([&fn](const K&, Object* obj) { fn(*obj); });
+  }
+
+  /// Number of data objects ever created (including logically deleted and
+  /// ghost rows from rolled-back inserts).
+  size_t ObjectCount() const { return index_.Size(); }
+
+ private:
+  Object* Allocate(const K& key) {
+    std::lock_guard<SpinLock> g(arena_lock_);
+    arena_.emplace_back(key);
+    return &arena_.back();
+  }
+
+  CuckooMap<K, Object*> index_;
+  SpinLock arena_lock_;
+  std::deque<Object> arena_;
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_MVCC_TABLE_H_

@@ -1,0 +1,37 @@
+#ifndef MV3C_MVCC_TIMESTAMP_H_
+#define MV3C_MVCC_TIMESTAMP_H_
+
+#include <cstdint>
+
+namespace mv3c {
+
+/// Logical timestamp drawn from the global start-and-commit sequence.
+///
+/// Start timestamps and commit timestamps come from one shared sequence
+/// (paper §5): a transaction T ran concurrently with every committed
+/// transaction whose commit timestamp is greater than T's start timestamp.
+using Timestamp = uint64_t;
+
+/// Transaction identifiers double as provisional commit timestamps on
+/// uncommitted versions. They are drawn from a second sequence that starts
+/// at a value larger than any realizable commit timestamp, so a version is
+/// uncommitted iff its timestamp is >= kTxnIdBase (paper §5).
+inline constexpr Timestamp kTxnIdBase = 1ULL << 62;
+
+/// Sentinel timestamp for versions that were rolled back or pruned out of a
+/// version chain. Readers skip dead versions; the garbage collector frees
+/// them once no active transaction can still hold a pointer to them.
+inline constexpr Timestamp kDeadVersion = ~0ULL;
+
+/// Returns true if `ts` identifies an uncommitted version (a transaction
+/// id rather than a commit timestamp).
+inline constexpr bool IsTxnId(Timestamp ts) {
+  return ts >= kTxnIdBase && ts != kDeadVersion;
+}
+
+/// Returns true if `ts` is a commit timestamp.
+inline constexpr bool IsCommitTs(Timestamp ts) { return ts < kTxnIdBase; }
+
+}  // namespace mv3c
+
+#endif  // MV3C_MVCC_TIMESTAMP_H_

@@ -1,0 +1,305 @@
+#ifndef MV3C_MVCC_TRANSACTION_MANAGER_H_
+#define MV3C_MVCC_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/macros.h"
+#include "common/spinlock.h"
+#include "mvcc/gc.h"
+#include "mvcc/timestamp.h"
+#include "mvcc/transaction.h"
+
+namespace mv3c {
+
+/// The shared transaction-management state of the MVCC substrate (paper
+/// §5): the recently-committed list, the active-transaction registry, the
+/// start-and-commit timestamp sequence, and the transaction-id sequence.
+/// One instance serves both the OMVCC and the MV3C engine — that shared
+/// validation surface is exactly what makes the two interoperable (§3).
+///
+/// Concurrency protocol:
+///   * Transaction starts, commit-time (delta) validation, commit/new-start
+///     timestamp draws and version publication all happen inside a short
+///     spin-locked critical section, matching the paper's requirement that
+///     "the whole process of validating a transaction, and drawing a commit
+///     timestamp or a new start timestamp ... is done in a short critical
+///     section" (§2.5). The expensive part of validation — matching against
+///     everything committed since the transaction's start — runs *outside*
+///     the critical section as a pre-validation pass (§5 "Parallel
+///     Validation"); only records that committed after that pass are
+///     re-checked inside.
+///   * Repair (MV3C) and restart (OMVCC) run entirely outside the critical
+///     section, concurrently with other transactions.
+class TransactionManager {
+ public:
+  static constexpr size_t kMaxActive = 1024;
+  static constexpr Timestamp kIdleSlot = ~0ULL;
+
+  TransactionManager() {
+    for (auto& s : active_) s.start.store(kIdleSlot, std::memory_order_relaxed);
+  }
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+  ~TransactionManager() {
+    TrimRecentlyCommitted(kDeadVersion);
+    gc_.CollectAll();
+  }
+
+  /// Starts `t`: draws a start timestamp and a transaction id, registers
+  /// the transaction in the active table.
+  void Begin(Transaction* t) {
+    const Timestamp id = txn_id_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<SpinLock> g(commit_lock_);
+    // The timestamp sequence only advances under the commit lock, so the
+    // value read here is the start timestamp the fetch_add below returns.
+    // Registering the slot *before* bumping the sequence guarantees that a
+    // concurrent OldestActiveStart() can never compute a watermark above
+    // this transaction's start.
+    const Timestamp start = ts_seq_.load(std::memory_order_relaxed);
+    const uint32_t slot = AcquireSlot(start);
+    ts_seq_.fetch_add(1, std::memory_order_seq_cst);
+    t->OnBegin(start, id, slot);
+  }
+
+  /// Head of the recently-committed list (newest first).
+  CommittedRecord* rc_head() const {
+    return rc_head_.load(std::memory_order_acquire);
+  }
+
+  /// Walks committed versions of recently-committed records newer than
+  /// `min_commit_ts_exclusive`, starting at `from` (newest first). Commit
+  /// timestamps decrease strictly along the list, so the walk stops at the
+  /// first record at or below the bound. Calls `fn(const VersionBase&)`;
+  /// if fn returns false the walk aborts. Returns false iff aborted by fn.
+  template <typename Fn>
+  static bool ForEachConcurrentVersion(CommittedRecord* from,
+                                       Timestamp min_commit_ts_exclusive,
+                                       Fn&& fn) {
+    for (CommittedRecord* r = from; r != nullptr;
+         r = r->next.load(std::memory_order_acquire)) {
+      if (r->commit_ts <= min_commit_ts_exclusive) break;
+      for (const VersionBase* v : r->versions) {
+        if (!fn(*v)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Attempts to commit `t`.
+  ///
+  /// `revalidate(CommittedRecord* from)` must run the engine's validation
+  /// over records newer than t->validated_up_to() starting at `from` and
+  /// return true iff the transaction is still valid (the pre-validation
+  /// pass outside the lock has already covered everything older). On
+  /// success the commit timestamp is drawn, versions are published, the
+  /// record is appended to the recently-committed list, and the
+  /// transaction leaves the active table; `*commit_ts_out` (optional)
+  /// receives the commit timestamp. On failure the transaction stays
+  /// active with a fresh start timestamp (drawn in the critical section,
+  /// §2.5) and the caller runs repair/restart outside.
+  template <typename RevalidateFn>
+  bool TryCommit(Transaction* t, RevalidateFn&& revalidate,
+                 Timestamp* commit_ts_out = nullptr) {
+    std::lock_guard<SpinLock> g(commit_lock_);
+    CommittedRecord* head = rc_head();
+    const bool valid = revalidate(head);
+    if (head != nullptr) t->set_validated_up_to(head->commit_ts);
+    if (!valid) {
+      RetimestampLocked(t);
+      return false;
+    }
+    const Timestamp c = ts_seq_.fetch_add(1, std::memory_order_seq_cst);
+    CommittedRecord* rec = t->PublishCommit(c);
+    if (rec != nullptr) {
+      rec->next.store(head, std::memory_order_relaxed);
+      rc_head_.store(rec, std::memory_order_release);
+    }
+    ReleaseSlot(t->slot());
+    if (commit_ts_out != nullptr) *commit_ts_out = c;
+    return true;
+  }
+
+  /// §4.3 exclusive repair: like TryCommit, but on validation failure the
+  /// engine's `repair()` runs *inside* the critical section; since no other
+  /// transaction can commit meanwhile, the repaired transaction commits
+  /// immediately afterwards without another validation round. Returns the
+  /// repair ExecStatus (kOk implies committed); a non-kOk status leaves the
+  /// transaction active with a fresh start timestamp so the caller can
+  /// handle the abort/restart outside the lock.
+  template <typename RevalidateFn, typename RepairFn>
+  ExecStatus TryCommitExclusive(Transaction* t, RevalidateFn&& revalidate,
+                                RepairFn&& repair,
+                                Timestamp* commit_ts_out = nullptr) {
+    std::lock_guard<SpinLock> g(commit_lock_);
+    CommittedRecord* head = rc_head();
+    const bool valid = revalidate(head);
+    if (head != nullptr) t->set_validated_up_to(head->commit_ts);
+    if (!valid) {
+      RetimestampLocked(t);
+      const ExecStatus st = repair();
+      if (st != ExecStatus::kOk) return st;
+    }
+    const Timestamp c = ts_seq_.fetch_add(1, std::memory_order_seq_cst);
+    CommittedRecord* rec = t->PublishCommit(c);
+    if (rec != nullptr) {
+      rec->next.store(head, std::memory_order_relaxed);
+      rc_head_.store(rec, std::memory_order_release);
+    }
+    ReleaseSlot(t->slot());
+    if (commit_ts_out != nullptr) *commit_ts_out = c;
+    return ExecStatus::kOk;
+  }
+
+  /// Draws a fresh start timestamp for a transaction staying in the
+  /// repair path (validation failed during pre-validation, outside the
+  /// commit critical section). Keeps the validation watermark.
+  void Retimestamp(Transaction* t) {
+    std::lock_guard<SpinLock> g(commit_lock_);
+    RetimestampLocked(t);
+  }
+
+  /// Commits a transaction with an empty write set without validation:
+  /// a read-only transaction reads a consistent snapshot and serializes at
+  /// its start timestamp (§5, Appendix A).
+  void CommitReadOnly(Transaction* t) {
+    MV3C_CHECK(t->undo_buffer().empty());
+    ReleaseSlot(t->slot());
+  }
+
+  /// Draws a fresh start timestamp for a transaction that rolled back its
+  /// writes and restarts from scratch (user-abort-free restart paths:
+  /// fail-fast write-write conflicts, OMVCC validation failure).
+  void Restart(Transaction* t) {
+    std::lock_guard<SpinLock> g(commit_lock_);
+    RetimestampLocked(t);
+    t->ResetValidationWatermark();
+  }
+
+  /// Removes a user-aborted transaction from the active table. The caller
+  /// must have rolled back its writes already.
+  void FinishAborted(Transaction* t) { ReleaseSlot(t->slot()); }
+
+  /// Oldest start timestamp among active transactions, or kIdleSlot
+  /// ("infinity") if none are active. Superseded versions below this
+  /// watermark can be reclaimed, and retired nodes with era below it freed.
+  Timestamp OldestActiveStart() const {
+    Timestamp oldest = kIdleSlot;
+    for (const Slot& s : active_) {
+      const Timestamp v = s.start.load(std::memory_order_acquire);
+      if (v < oldest) oldest = v;
+    }
+    return oldest;
+  }
+
+  /// Current timestamp-sequence value; the retirement era for the GC.
+  Timestamp CurrentEra() const {
+    return ts_seq_.load(std::memory_order_seq_cst);
+  }
+
+  GarbageCollector& gc() { return gc_; }
+
+  /// Trims the recently-committed list and frees retired garbage. Called
+  /// periodically by execution drivers; rate limiting is the caller's
+  /// business.
+  void CollectGarbage() {
+    const Timestamp watermark = OldestActiveStart();
+    TrimRecentlyCommitted(watermark);
+    gc_.Collect(watermark);
+  }
+
+  /// Number of records currently reachable in the RC list; metrics/tests.
+  size_t RecentlyCommittedLength() const {
+    size_t n = 0;
+    for (CommittedRecord* r = rc_head(); r != nullptr;
+         r = r->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(MV3C_CACHELINE_SIZE) Slot {
+    std::atomic<Timestamp> start;
+  };
+
+  /// Draws a fresh start timestamp; caller holds commit_lock_. The slot is
+  /// updated before the sequence advances (see Begin for why).
+  void RetimestampLocked(Transaction* t) {
+    const Timestamp fresh = ts_seq_.load(std::memory_order_relaxed);
+    active_[t->slot()].start.store(fresh, std::memory_order_release);
+    ts_seq_.fetch_add(1, std::memory_order_seq_cst);
+    t->OnNewStartTs(fresh);
+  }
+
+  uint32_t AcquireSlot(Timestamp start) {
+    const uint32_t hint = slot_hint_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < kMaxActive; ++i) {
+      const uint32_t idx = (hint + i) % kMaxActive;
+      Timestamp expected = kIdleSlot;
+      if (active_[idx].start.compare_exchange_strong(
+              expected, start, std::memory_order_acq_rel)) {
+        return idx;
+      }
+    }
+    MV3C_CHECK(false && "active-transaction table exhausted");
+    return 0;
+  }
+
+  void ReleaseSlot(uint32_t slot) {
+    active_[slot].start.store(kIdleSlot, std::memory_order_release);
+  }
+
+  /// Unlinks RC records whose commit timestamp is below `watermark` (no
+  /// active transaction can need them for validation) and retires them.
+  void TrimRecentlyCommitted(Timestamp watermark) {
+    std::lock_guard<SpinLock> g(commit_lock_);
+    CommittedRecord* prev = nullptr;
+    CommittedRecord* cur = rc_head();
+    while (cur != nullptr && cur->commit_ts >= watermark) {
+      prev = cur;
+      cur = cur->next.load(std::memory_order_acquire);
+    }
+    if (cur == nullptr) return;
+    if (prev == nullptr) {
+      rc_head_.store(nullptr, std::memory_order_release);
+    } else {
+      prev->next.store(nullptr, std::memory_order_release);
+    }
+    const Timestamp era = CurrentEra();
+    while (cur != nullptr) {
+      CommittedRecord* next = cur->next.load(std::memory_order_acquire);
+      gc_.RetireRecord(cur, era);
+      cur = next;
+    }
+  }
+
+  alignas(MV3C_CACHELINE_SIZE) std::atomic<Timestamp> ts_seq_{1};
+  alignas(MV3C_CACHELINE_SIZE) std::atomic<Timestamp> txn_id_seq_{
+      kTxnIdBase + 1};
+  alignas(MV3C_CACHELINE_SIZE) std::atomic<CommittedRecord*> rc_head_{nullptr};
+  SpinLock commit_lock_;
+  std::atomic<uint32_t> slot_hint_{0};
+  Slot active_[kMaxActive];
+  GarbageCollector gc_;
+};
+
+// --- Transaction methods that need the manager ---
+
+inline void Transaction::Retire(VersionBase* v) {
+  mgr_->gc().RetireVersion(v, mgr_->CurrentEra());
+}
+
+inline void Transaction::MaybeTruncateChain(DataObjectBase* obj) {
+  constexpr uint32_t kTruncateThreshold = 48;
+  if (MV3C_LIKELY(obj->ApproxChainLength() < kTruncateThreshold)) return;
+  TransactionManager* mgr = mgr_;
+  obj->TruncateOlderThan(mgr->OldestActiveStart(), [mgr](VersionBase* dead) {
+    mgr->gc().RetireVersion(dead, mgr->CurrentEra());
+  });
+}
+
+}  // namespace mv3c
+
+#endif  // MV3C_MVCC_TRANSACTION_MANAGER_H_

@@ -1,0 +1,45 @@
+#ifndef MV3C_OCC_OCC_ENGINE_H_
+#define MV3C_OCC_OCC_ENGINE_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "sv/sv_transaction.h"
+
+namespace mv3c {
+
+/// Classic OCC baseline (Kung–Robinson style with serial validation): the
+/// read phase runs lock-free; validation and the write phase execute in a
+/// single global critical section, which makes the check "did any record I
+/// read change since I read it, and did any scanned index node change"
+/// atomic with the installation of the write set.
+class OccEngine {
+ public:
+  /// Validates and commits `t`. Returns true on commit; on false the
+  /// caller rolls back (clears the sets) and restarts the program.
+  bool Commit(sv::SvTransaction& t) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const sv::SvRead& r : t.reads()) {
+      if (r.tid_word->load(std::memory_order_acquire) != r.observed) {
+        return false;
+      }
+    }
+    for (const sv::SvNode& n : t.nodes()) {
+      if (n.version->load(std::memory_order_acquire) != n.observed) {
+        return false;
+      }
+    }
+    const uint64_t commit_tid =
+        tid_seq_.fetch_add(1, std::memory_order_relaxed);
+    sv::InstallWrites(t, commit_tid);
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<uint64_t> tid_seq_{2};
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_OCC_OCC_ENGINE_H_

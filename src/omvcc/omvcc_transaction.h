@@ -1,0 +1,283 @@
+#ifndef MV3C_OMVCC_OMVCC_TRANSACTION_H_
+#define MV3C_OMVCC_OMVCC_TRANSACTION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "mvcc/predicate.h"
+#include "mvcc/transaction.h"
+#include "mvcc/transaction_manager.h"
+
+namespace mv3c {
+
+/// Statistics for the OMVCC baseline.
+struct OmvccStats {
+  uint64_t commits = 0;
+  uint64_t user_aborts = 0;
+  uint64_t ww_restarts = 0;          // premature aborts on WW conflicts
+  uint64_t validation_failures = 0;  // abort-and-restart on failed validation
+
+  void Add(const OmvccStats& o) {
+    commits += o.commits;
+    user_aborts += o.user_aborts;
+    ww_restarts += o.ww_restarts;
+    validation_failures += o.validation_failures;
+  }
+};
+
+/// The OMVCC baseline (paper §2.1; the optimistic MVCC of Neumann et al.
+/// that MV3C builds on): transactions gather a flat list of predicates for
+/// their reads, validate them with precision locking against the undo
+/// buffers of concurrently committed transactions, and on any conflict —
+/// read-write at validation, or write-write during execution — abort, roll
+/// back, and restart from scratch.
+///
+/// Programs are straight-line code against this facade: reads return their
+/// results directly (no closures, no dependency information) and writes are
+/// always fail-fast.
+class OmvccTransaction {
+ public:
+  explicit OmvccTransaction(TransactionManager* mgr)
+      : mgr_(mgr), inner_(mgr) {}
+  OmvccTransaction(const OmvccTransaction&) = delete;
+  OmvccTransaction& operator=(const OmvccTransaction&) = delete;
+  ~OmvccTransaction() { ClearPredicates(); }
+
+  Transaction& inner() { return inner_; }
+  TransactionManager* manager() const { return mgr_; }
+  OmvccStats& stats() { return stats_; }
+
+  /// Point lookup result.
+  template <typename TableT>
+  struct GetResult {
+    typename TableT::Object* object = nullptr;  // nullptr if key unknown
+    const typename TableT::Row* row = nullptr;  // nullptr if absent/deleted
+  };
+
+  /// Point lookup by primary key; registers a key-equality predicate.
+  template <typename TableT>
+  GetResult<TableT> Get(TableT& table, const typename TableT::Key& key,
+                        ColumnMask monitored) {
+    auto* pred = pool_.Create<KeyEqCriterion<TableT>>(&table, key);
+    pred->set_monitored(monitored);
+    predicates_.push_back(pred);
+    GetResult<TableT> r;
+    r.object = table.Find(key);
+    if (r.object != nullptr) {
+      const auto* v = inner_.ReadVersion(table, r.object);
+      if (v != nullptr) r.row = &v->data();
+    }
+    return r;
+  }
+
+  /// Full-table scan with a row filter; registers a filter predicate.
+  template <typename TableT>
+  void Scan(TableT& table,
+            std::function<bool(const typename TableT::Row&)> filter,
+            ColumnMask monitored,
+            std::vector<ScanResultEntry<TableT>>* out) {
+    auto* pred = pool_.Create<RowFilterCriterion<TableT>>(&table, filter);
+    pred->set_monitored(monitored);
+    predicates_.push_back(pred);
+    out->clear();
+    table.ForEachObject([&](typename TableT::Object& obj) {
+      const auto* v = obj.ReadVisible(inner_.start_ts(), inner_.txn_id());
+      if (v != nullptr && filter(v->data())) {
+        out->push_back({&obj, v->data()});
+      }
+    });
+  }
+
+  /// Ordered-index range scan; registers a key-range predicate.
+  template <typename TableT, typename IndexT>
+  void RangeScan(
+      TableT& table, const IndexT& index, const typename IndexT::KeyType& lo,
+      const typename IndexT::KeyType& hi,
+      typename KeyRangeCriterion<TableT, typename IndexT::KeyType>::Extract
+          extract,
+      std::function<bool(const typename TableT::Row&)> filter,
+      ColumnMask monitored, size_t limit, bool reverse,
+      std::vector<ScanResultEntry<TableT>>* out) {
+    using SecKey = typename IndexT::KeyType;
+    auto* pred = pool_.Create<KeyRangeCriterion<TableT, SecKey>>(
+        &table, lo, hi, extract, filter);
+    pred->set_monitored(monitored);
+    predicates_.push_back(pred);
+    out->clear();
+    auto visit = [&](const SecKey&, typename TableT::Object* obj) -> bool {
+      const auto* v = obj->ReadVisible(inner_.start_ts(), inner_.txn_id());
+      if (v != nullptr && (filter == nullptr || filter(v->data()))) {
+        out->push_back({obj, v->data()});
+        if (limit != 0 && out->size() >= limit) return false;
+      }
+      return true;
+    };
+    if (reverse) {
+      index.ScanRangeReverse(lo, hi, visit);
+    } else {
+      index.ScanRange(lo, hi, visit);
+    }
+  }
+
+  /// Update; always fail-fast (OMVCC has no tolerance for multiple
+  /// uncommitted versions, §2.3.1).
+  template <typename TableT>
+  ExecStatus UpdateRow(TableT& table, typename TableT::Object* obj,
+                       const typename TableT::Row& new_data,
+                       ColumnMask modified) {
+    const WriteStatus ws = inner_.Update(table, obj, new_data, modified,
+                                         /*blind=*/false,
+                                         WwPolicy::kFailFast);
+    return ws == WriteStatus::kWwConflict ? ExecStatus::kWriteWriteConflict
+                                          : ExecStatus::kOk;
+  }
+
+  template <typename TableT>
+  WriteStatus InsertRow(TableT& table, const typename TableT::Key& key,
+                        const typename TableT::Row& data,
+                        typename TableT::Object** out_obj = nullptr) {
+    return inner_.Insert(table, key, data, out_obj);
+  }
+
+  template <typename TableT>
+  ExecStatus DeleteRow(TableT& table, typename TableT::Object* obj) {
+    const WriteStatus ws = inner_.Delete(table, obj);
+    return ws == WriteStatus::kWwConflict ? ExecStatus::kWriteWriteConflict
+                                          : ExecStatus::kOk;
+  }
+
+  // --- lifecycle ---
+
+  /// Pre-validation outside the critical section; stops at the first
+  /// conflict (OMVCC cannot use more than one, §2.4).
+  bool Prevalidate() {
+    CommittedRecord* head = mgr_->rc_head();
+    const bool clean = Validate(head);
+    if (head != nullptr) inner_.set_validated_up_to(head->commit_ts);
+    return clean;
+  }
+
+  /// Validation pass starting at `from`; early-exits on the first match.
+  bool Validate(CommittedRecord* from) {
+    return TransactionManager::ForEachConcurrentVersion(
+        from, inner_.validated_up_to(), [&](const VersionBase& v) {
+          for (const PredicateBase* p : predicates_) {
+            if (p->ConflictsWith(v)) return false;  // abort the walk
+          }
+          return true;
+        });
+  }
+
+  bool ReadOnly() const { return inner_.undo_buffer().empty(); }
+
+  void RollbackAll() {
+    inner_.RollbackWrites();
+    ClearPredicates();
+  }
+
+  /// Drops the predicate list (end of transaction); memory returns to the
+  /// pool for the next program.
+  void ClearPredicates() {
+    for (PredicateBase* p : predicates_) pool_.Destroy(p);
+    predicates_.clear();
+  }
+
+  size_t PredicateCount() const { return predicates_.size(); }
+
+ private:
+  TransactionManager* mgr_;
+  Transaction inner_;
+  PredicatePool pool_;
+  std::vector<PredicateBase*> predicates_;
+  OmvccStats stats_;
+};
+
+/// Step-based driver for OMVCC transactions: every failure path — user
+/// abort excepted — rolls back and re-executes the program from scratch
+/// with a fresh start timestamp.
+class OmvccExecutor {
+ public:
+  using Program = std::function<ExecStatus(OmvccTransaction&)>;
+
+  explicit OmvccExecutor(TransactionManager* mgr) : txn_(mgr) {}
+
+  void Reset(Program program) {
+    program_ = std::move(program);
+    txn_.ClearPredicates();  // drop state from the previous transaction
+  }
+
+  void Begin() { txn_.manager()->Begin(&txn_.inner()); }
+
+  StepResult Step() {
+    const ExecStatus st = program_(txn_);
+    if (st == ExecStatus::kUserAbort) {
+      txn_.RollbackAll();
+      txn_.manager()->FinishAborted(&txn_.inner());
+      ++txn_.stats().user_aborts;
+      return StepResult::kUserAborted;
+    }
+    if (st == ExecStatus::kWriteWriteConflict) {
+      txn_.RollbackAll();
+      txn_.manager()->Restart(&txn_.inner());
+      ++txn_.stats().ww_restarts;
+      return StepResult::kNeedsRetry;
+    }
+    if (txn_.ReadOnly()) {
+      txn_.manager()->CommitReadOnly(&txn_.inner());
+      last_commit_ts_ = txn_.inner().start_ts();
+      ++txn_.stats().commits;
+      txn_.ClearPredicates();
+      return StepResult::kCommitted;
+    }
+    if (!txn_.Prevalidate()) {
+      txn_.manager()->Retimestamp(&txn_.inner());
+      return FailValidation();
+    }
+    if (txn_.manager()->TryCommit(
+            &txn_.inner(),
+            [this](CommittedRecord* head) { return txn_.Validate(head); },
+            &last_commit_ts_)) {
+      ++txn_.stats().commits;
+      txn_.ClearPredicates();
+      return StepResult::kCommitted;
+    }
+    return FailValidation();
+  }
+
+  StepResult Run(Program program) {
+    Reset(std::move(program));
+    Begin();
+    StepResult r;
+    do {
+      r = Step();
+    } while (r == StepResult::kNeedsRetry);
+    return r;
+  }
+
+  OmvccTransaction& txn() { return txn_; }
+  const OmvccStats& stats() const {
+    return const_cast<OmvccExecutor*>(this)->txn_.stats();
+  }
+  Timestamp last_commit_ts() const { return last_commit_ts_; }
+
+ private:
+  StepResult FailValidation() {
+    // Abort and restart from scratch: the new start timestamp was drawn in
+    // the critical section; the restarted execution reads at it, so the
+    // validation watermark resets to it.
+    txn_.RollbackAll();
+    txn_.inner().ResetValidationWatermark();
+    ++txn_.stats().validation_failures;
+    return StepResult::kNeedsRetry;
+  }
+
+  OmvccTransaction txn_;
+  Program program_;
+  Timestamp last_commit_ts_ = 0;
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_OMVCC_OMVCC_TRANSACTION_H_

@@ -1,0 +1,83 @@
+#ifndef MV3C_SV_SV_EXECUTOR_H_
+#define MV3C_SV_SV_EXECUTOR_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/status.h"
+#include "sv/sv_transaction.h"
+
+namespace mv3c {
+
+/// Statistics for the single-version engines.
+struct SvStats {
+  uint64_t commits = 0;
+  uint64_t user_aborts = 0;
+  uint64_t validation_failures = 0;  // abort-and-restart rounds
+
+  void Add(const SvStats& o) {
+    commits += o.commits;
+    user_aborts += o.user_aborts;
+    validation_failures += o.validation_failures;
+  }
+};
+
+/// Step-based driver adapter for the single-version engines, so OCC and
+/// SILO plug into the same WindowDriver/ThreadDriver as the MVCC engines.
+/// `Engine` provides `bool Commit(sv::SvTransaction&)`; OCC shares one
+/// engine across executors (global validation mutex), SILO takes one per
+/// executor.
+template <typename Engine>
+class SvExecutor {
+ public:
+  using Program = std::function<ExecStatus(sv::SvTransaction&)>;
+
+  explicit SvExecutor(Engine* engine) : engine_(engine) {}
+
+  void Reset(Program program) {
+    program_ = std::move(program);
+    txn_.Clear();
+  }
+
+  /// Single-version OCC has no global begin (no timestamp to draw).
+  void Begin() {}
+
+  StepResult Step() {
+    txn_.Clear();
+    const ExecStatus st = program_(txn_);
+    if (st == ExecStatus::kUserAbort) {
+      ++stats_.user_aborts;
+      return StepResult::kUserAborted;
+    }
+    MV3C_DCHECK(st == ExecStatus::kOk);
+    if (engine_->Commit(txn_)) {
+      ++stats_.commits;
+      return StepResult::kCommitted;
+    }
+    ++stats_.validation_failures;
+    return StepResult::kNeedsRetry;
+  }
+
+  StepResult Run(Program program) {
+    Reset(std::move(program));
+    Begin();
+    StepResult r;
+    do {
+      r = Step();
+    } while (r == StepResult::kNeedsRetry);
+    return r;
+  }
+
+  sv::SvTransaction& txn() { return txn_; }
+  const SvStats& stats() const { return stats_; }
+
+ private:
+  Engine* engine_;
+  sv::SvTransaction txn_;
+  Program program_;
+  SvStats stats_;
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_SV_SV_EXECUTOR_H_

@@ -1,0 +1,115 @@
+#ifndef MV3C_SV_SV_TABLE_H_
+#define MV3C_SV_SV_TABLE_H_
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <type_traits>
+
+#include "common/spinlock.h"
+#include "index/cuckoo_map.h"
+
+namespace mv3c {
+
+/// Single-version in-memory storage shared by the OCC and SILO baselines
+/// (the paper compares against THEDB's OCC and SILO implementations on
+/// TPC-C, §6.1.1). Each record carries one Silo-style TID word:
+///
+///   bit 63: LOCK   — held by a committing writer
+///   bit 62: ABSENT — the slot exists but holds no live row
+///   bits 0..61     — the record's version number (grows on every commit)
+///
+/// Readers copy the row optimistically and retry until they observe the
+/// same unlocked TID before and after the copy.
+namespace sv {
+
+inline constexpr uint64_t kLockBit = 1ULL << 63;
+inline constexpr uint64_t kAbsentBit = 1ULL << 62;
+inline constexpr uint64_t kTidMask = kAbsentBit - 1;
+
+inline bool IsLocked(uint64_t w) { return (w & kLockBit) != 0; }
+inline bool IsAbsent(uint64_t w) { return (w & kAbsentBit) != 0; }
+
+/// One record: TID word plus the row payload in place.
+template <typename Row>
+struct Record {
+  static_assert(std::is_trivially_copyable_v<Row>,
+                "single-version rows are copied with memcpy");
+  std::atomic<uint64_t> tid{kAbsentBit};
+  Row row{};
+
+  /// Optimistically reads a stable snapshot of the row; returns the TID
+  /// word observed (possibly ABSENT). Spins across concurrent installs.
+  uint64_t ReadStable(Row* out) const {
+    while (true) {
+      const uint64_t v1 = tid.load(std::memory_order_acquire);
+      if (IsLocked(v1)) continue;
+      std::memcpy(out, &row, sizeof(Row));
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t v2 = tid.load(std::memory_order_acquire);
+      if (v1 == v2) return v1;
+    }
+  }
+};
+
+/// A single-version table: cuckoo index from key to arena-allocated
+/// records. Records are never physically removed; deletion sets ABSENT.
+template <typename K, typename RowT>
+class SvTable {
+ public:
+  using Key = K;
+  using Row = RowT;
+  using Rec = Record<RowT>;
+
+  explicit SvTable(std::string name, size_t expected_rows = 1024)
+      : name_(std::move(name)), index_(expected_rows) {}
+  SvTable(const SvTable&) = delete;
+  SvTable& operator=(const SvTable&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  Rec* Find(const K& key) const {
+    Rec* r = nullptr;
+    index_.Find(key, &r);
+    return r;
+  }
+
+  /// Returns the record for `key`, creating an ABSENT one if needed.
+  Rec* GetOrCreate(const K& key) {
+    Rec* r = Find(key);
+    if (r != nullptr) return r;
+    Rec* fresh = Allocate();
+    if (index_.Insert(key, fresh)) return fresh;
+    index_.Find(key, &r);
+    return r;
+  }
+
+  /// Non-transactional load (initial population): installs the row with
+  /// TID 1, present.
+  void LoadRow(const K& key, const RowT& row) {
+    Rec* r = GetOrCreate(key);
+    r->row = row;
+    r->tid.store(1, std::memory_order_release);
+  }
+
+  size_t RecordCount() const { return index_.Size(); }
+
+ private:
+  Rec* Allocate() {
+    std::lock_guard<SpinLock> g(arena_lock_);
+    arena_.emplace_back();
+    return &arena_.back();
+  }
+
+  std::string name_;
+  CuckooMap<K, Rec*> index_;
+  SpinLock arena_lock_;
+  std::deque<Rec> arena_;
+};
+
+}  // namespace sv
+}  // namespace mv3c
+
+#endif  // MV3C_SV_SV_TABLE_H_

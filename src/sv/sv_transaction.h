@@ -1,0 +1,191 @@
+#ifndef MV3C_SV_SV_TRANSACTION_H_
+#define MV3C_SV_SV_TRANSACTION_H_
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "sv/sv_table.h"
+
+namespace mv3c::sv {
+
+/// Read-set entry: the TID word observed for a record (including ABSENT
+/// observations, which protect repeatable non-existence).
+struct SvRead {
+  const std::atomic<uint64_t>* tid_word;
+  uint64_t observed;
+};
+
+/// Node-set entry: an ordered-index shard version observed by a range
+/// scan; re-validated at commit to catch phantoms (Silo's node-set
+/// technique, reused by our OCC for simplicity).
+struct SvNode {
+  const std::atomic<uint64_t>* version;
+  uint64_t observed;
+};
+
+/// Write-set entry. Row images live in the transaction's byte arena and
+/// are installed with memcpy while the record is locked.
+struct SvWrite {
+  enum class Op : uint8_t { kUpdate, kInsert, kDelete };
+  std::atomic<uint64_t>* tid_word;
+  void* dst;
+  size_t size;
+  size_t buf_offset;
+  Op op;
+};
+
+/// The read phase of a single-version optimistic transaction: collects
+/// read, node and write sets; the commit protocol (OCC or SILO) consumes
+/// them. Transaction programs are `ExecStatus(SvTransaction&)` callables,
+/// shared verbatim between the two engines.
+///
+/// Constraint (holds for all TPC-C programs here): a transaction reads a
+/// record before writing it and writes each record at most once; reads
+/// after writes of the same record are not buffered.
+class SvTransaction {
+ public:
+  SvTransaction() { arena_.reserve(4096); }
+  SvTransaction(const SvTransaction&) = delete;
+  SvTransaction& operator=(const SvTransaction&) = delete;
+
+  /// Reads `key`; returns true and fills `*out` if a live row exists. The
+  /// observation is recorded either way.
+  template <typename TableT>
+  bool Read(const TableT& table, const typename TableT::Key& key,
+            typename TableT::Row* out,
+            typename TableT::Rec** rec_out = nullptr) {
+    typename TableT::Rec* rec = table.Find(key);
+    if (rec == nullptr) {
+      // Key never existed: nothing to observe. A concurrent insert will be
+      // caught by the node set if the access came from a scan; point
+      // lookups of never-inserted keys are stable in our workloads.
+      if (rec_out != nullptr) *rec_out = nullptr;
+      return false;
+    }
+    const uint64_t w = rec->ReadStable(out);
+    reads_.push_back({&rec->tid, w});
+    if (rec_out != nullptr) *rec_out = rec;
+    return !IsAbsent(w);
+  }
+
+  /// Buffers an update of a record previously read.
+  template <typename TableT>
+  void Update(TableT& table, typename TableT::Rec* rec,
+              const typename TableT::Row& new_row) {
+    const size_t off = Push(&new_row, sizeof(new_row));
+    writes_.push_back({&rec->tid, &rec->row, sizeof(new_row), off,
+                       SvWrite::Op::kUpdate});
+  }
+
+  /// Buffers an insert; returns false if a live row with the key exists in
+  /// the current snapshot (the observation is registered, so a racing
+  /// insert is caught at validation).
+  template <typename TableT>
+  bool Insert(TableT& table, const typename TableT::Key& key,
+              const typename TableT::Row& row,
+              typename TableT::Rec** rec_out = nullptr) {
+    typename TableT::Rec* rec = table.GetOrCreate(key);
+    typename TableT::Row ignored;
+    const uint64_t w = rec->ReadStable(&ignored);
+    reads_.push_back({&rec->tid, w});
+    if (!IsAbsent(w)) return false;
+    const size_t off = Push(&row, sizeof(row));
+    writes_.push_back(
+        {&rec->tid, &rec->row, sizeof(row), off, SvWrite::Op::kInsert});
+    if (rec_out != nullptr) *rec_out = rec;
+    return true;
+  }
+
+  /// Buffers a delete of a record previously read.
+  template <typename TableT>
+  void Delete(TableT& table, typename TableT::Rec* rec) {
+    writes_.push_back({&rec->tid, &rec->row, 0, 0, SvWrite::Op::kDelete});
+  }
+
+  /// Registers an index-shard version for phantom validation.
+  void ObserveNode(const std::atomic<uint64_t>* version) {
+    nodes_.push_back({version, version->load(std::memory_order_acquire)});
+  }
+
+  /// Registers a callback to run after the writes are installed (while the
+  /// commit still holds the records locked under SILO / the mutex under
+  /// OCC); used for secondary-index insertions of new rows.
+  void OnInstall(std::function<void()> fn) {
+    install_hooks_.push_back(std::move(fn));
+  }
+
+  std::vector<SvRead>& reads() { return reads_; }
+  std::vector<SvNode>& nodes() { return nodes_; }
+  std::vector<SvWrite>& writes() { return writes_; }
+  const std::vector<std::function<void()>>& install_hooks() const {
+    return install_hooks_;
+  }
+  const uint8_t* arena() const { return arena_.data(); }
+
+  void Clear() {
+    reads_.clear();
+    nodes_.clear();
+    writes_.clear();
+    install_hooks_.clear();
+    arena_.clear();
+  }
+
+  /// True if the write entry's record is also in this transaction's write
+  /// set (used by SILO read validation: locked-by-me is fine).
+  bool WritesWord(const std::atomic<uint64_t>* word) const {
+    for (const SvWrite& w : writes_) {
+      if (w.tid_word == word) return true;
+    }
+    return false;
+  }
+
+ private:
+  size_t Push(const void* src, size_t n) {
+    const size_t off = arena_.size();
+    arena_.resize(off + n);
+    std::memcpy(arena_.data() + off, src, n);
+    return off;
+  }
+
+  std::vector<SvRead> reads_;
+  std::vector<SvNode> nodes_;
+  std::vector<SvWrite> writes_;
+  std::vector<std::function<void()>> install_hooks_;
+  std::vector<uint8_t> arena_;
+};
+
+/// Installs the write set at `commit_tid`; every record must be locked (or
+/// the caller must hold the global validation mutex).
+inline void InstallWrites(SvTransaction& t, uint64_t commit_tid) {
+  const auto& writes = t.writes();
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const SvWrite& w = writes[i];
+    if (w.op != SvWrite::Op::kDelete) {
+      std::memcpy(w.dst, t.arena() + w.buf_offset, w.size);
+    }
+    // If a later entry targets the same record (a transaction may write a
+    // record more than once), defer the TID publication — publishing now
+    // would drop the lock while the later memcpy is still pending and let
+    // readers accept a torn row.
+    bool later_write_same_record = false;
+    for (size_t j = i + 1; j < writes.size(); ++j) {
+      if (writes[j].tid_word == w.tid_word) {
+        later_write_same_record = true;
+        break;
+      }
+    }
+    if (later_write_same_record) continue;
+    uint64_t word = commit_tid;
+    if (w.op == SvWrite::Op::kDelete) word |= kAbsentBit;
+    w.tid_word->store(word, std::memory_order_release);
+  }
+  for (const auto& hook : t.install_hooks()) hook();
+}
+
+}  // namespace mv3c::sv
+
+#endif  // MV3C_SV_SV_TRANSACTION_H_

@@ -1,0 +1,95 @@
+#ifndef MV3C_WORKLOADS_TPCC_SV_H_
+#define MV3C_WORKLOADS_TPCC_SV_H_
+
+#include "sv/sv_executor.h"
+#include "sv/sv_table.h"
+#include "workloads/tpcc.h"
+
+namespace mv3c::tpcc {
+
+/// TPC-C over the single-version store, driven by the OCC and SILO
+/// baselines (paper Figure 8 compares MV3C/OMVCC with THEDB's OCC and
+/// SILO). Schema, keys, generator parameters and program logic mirror the
+/// MVCC implementation in tpcc.h/tpcc.cc; programs are written once against
+/// sv::SvTransaction and shared by both engines, which differ only in the
+/// commit protocol.
+
+using SvWarehouseTable = sv::SvTable<uint64_t, WarehouseRow>;
+using SvDistrictTable = sv::SvTable<uint64_t, DistrictRow>;
+using SvCustomerTable = sv::SvTable<uint64_t, CustomerRow>;
+using SvHistoryTable = sv::SvTable<uint64_t, HistoryRow>;
+using SvOrderTable = sv::SvTable<uint64_t, OrderRow>;
+using SvNewOrderTable = sv::SvTable<uint64_t, NewOrderRow>;
+using SvOrderLineTable = sv::SvTable<uint64_t, OrderLineRow>;
+using SvItemTable = sv::SvTable<uint64_t, ItemRow>;
+using SvStockTable = sv::SvTable<uint64_t, StockRow>;
+
+using SvCustomerNameIndex =
+    OrderedIndex<CustomerNameKey, SvCustomerTable::Rec*,
+                 CustomerNamePartition>;
+using SvNewOrderIndex =
+    OrderedIndex<uint64_t, SvNewOrderTable::Rec*,
+                 DivPartition<kMaxOrdersPerD>>;
+using SvCustomerOrderIndex =
+    OrderedIndex<uint64_t, SvOrderTable::Rec*, DivPartition<kMaxOrdersPerD>>;
+using SvOrderLineIndex =
+    OrderedIndex<uint64_t, SvOrderLineTable::Rec*,
+                 DivPartition<kMaxOrdersPerD * kMaxOrderLines>>;
+
+class SvTpccDb {
+ public:
+  SvTpccDb(const TpccScale& scale)
+      : warehouses("WAREHOUSE", scale.n_warehouses),
+        districts("DISTRICT", scale.n_warehouses * scale.n_districts),
+        customers("CUSTOMER", scale.n_warehouses * scale.n_districts *
+                                  scale.n_customers_per_d),
+        history("HISTORY", 1 << 16),
+        orders("ORDER", 1 << 16),
+        new_orders("NEW-ORDER", 1 << 16),
+        order_lines("ORDER-LINE", 1 << 18),
+        items("ITEM", scale.n_items),
+        stock("STOCK", scale.n_warehouses * scale.n_items),
+        scale_(scale) {}
+
+  /// Non-transactional population; same rules (and same seed semantics) as
+  /// TpccDb::Load.
+  void Load(uint64_t seed = 1);
+
+  const TpccScale& scale() const { return scale_; }
+
+  uint64_t NextHistoryKey() {
+    return history_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  SvWarehouseTable warehouses;
+  SvDistrictTable districts;
+  SvCustomerTable customers;
+  SvHistoryTable history;
+  SvOrderTable orders;
+  SvNewOrderTable new_orders;
+  SvOrderLineTable order_lines;
+  SvItemTable items;
+  SvStockTable stock;
+
+  SvCustomerNameIndex customers_by_name;
+  SvNewOrderIndex new_order_queue;
+  SvCustomerOrderIndex orders_by_customer;
+  SvOrderLineIndex order_lines_by_district;
+
+ private:
+  TpccScale scale_;
+  std::atomic<uint64_t> history_seq_{0};
+};
+
+/// The five TPC-C programs against the single-version store. Shared by OCC
+/// and SILO (the engine only differs in SvExecutor's commit call).
+std::function<ExecStatus(sv::SvTransaction&)> SvTpccProgram(
+    SvTpccDb& db, const TpccParams& p);
+
+/// Consistency conditions over the single-version database (same subset as
+/// tpcc::CheckConsistency).
+bool CheckSvConsistency(SvTpccDb& db, std::string* why);
+
+}  // namespace mv3c::tpcc
+
+#endif  // MV3C_WORKLOADS_TPCC_SV_H_

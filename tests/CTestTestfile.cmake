@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/tests/mvcc_core_test[1]_include.cmake")
+include("/root/repo/tests/mv3c_engine_test[1]_include.cmake")
+include("/root/repo/tests/serializability_test[1]_include.cmake")
+include("/root/repo/tests/index_test[1]_include.cmake")
+include("/root/repo/tests/omvcc_engine_test[1]_include.cmake")
+include("/root/repo/tests/trading_test[1]_include.cmake")
+include("/root/repo/tests/tatp_test[1]_include.cmake")
+include("/root/repo/tests/tpcc_test[1]_include.cmake")
+include("/root/repo/tests/sv_engine_test[1]_include.cmake")
+include("/root/repo/tests/ripple_test[1]_include.cmake")
+include("/root/repo/tests/common_test[1]_include.cmake")
+include("/root/repo/tests/gc_test[1]_include.cmake")
+include("/root/repo/tests/driver_test[1]_include.cmake")
+include("/root/repo/tests/repair_property_test[1]_include.cmake")

@@ -1,0 +1,201 @@
+// Unit tests for the predicate criteria (precision locking, §2.1): key
+// equality, row filters with before-image detection (rows entering AND
+// leaving a result set must both conflict), key ranges over derived
+// secondary keys, attribute-level short-circuiting, and tombstones.
+
+#include <gtest/gtest.h>
+
+#include "mvcc/predicate.h"
+#include "mvcc/transaction.h"
+#include "mvcc/transaction_manager.h"
+
+namespace mv3c {
+namespace {
+
+struct Row {
+  int64_t score = 0;
+  int64_t other = 0;
+
+  void MergeFrom(const Row& base, ColumnMask modified) {
+    if (!modified.Contains(0)) score = base.score;
+    if (!modified.Contains(1)) other = base.other;
+  }
+};
+using TestTable = Table<uint64_t, Row>;
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() : table_("t", 64) {}
+
+  /// Commits one operation and returns the committed version.
+  template <typename Op>
+  const VersionBase* CommitOp(Op&& op) {
+    Transaction t(&mgr_);
+    mgr_.Begin(&t);
+    op(t);
+    EXPECT_TRUE(mgr_.TryCommit(&t, [](CommittedRecord*) { return true; }));
+    return mgr_.rc_head()->versions.back();
+  }
+
+  const VersionBase* CommitInsert(uint64_t key, Row row) {
+    return CommitOp([&](Transaction& t) {
+      EXPECT_EQ(t.Insert(table_, key, row), WriteStatus::kOk);
+    });
+  }
+
+  const VersionBase* CommitUpdate(uint64_t key, Row row,
+                                  ColumnMask mask = ColumnMask::All()) {
+    return CommitOp([&](Transaction& t) {
+      EXPECT_EQ(t.Update(table_, table_.Find(key), row, mask, false,
+                         WwPolicy::kFailFast),
+                WriteStatus::kOk);
+    });
+  }
+
+  const VersionBase* CommitDelete(uint64_t key) {
+    return CommitOp([&](Transaction& t) {
+      EXPECT_EQ(t.Delete(table_, table_.Find(key)), WriteStatus::kOk);
+    });
+  }
+
+  TransactionManager mgr_;
+  TestTable table_;
+};
+
+TEST_F(PredicateTest, KeyEqMatchesOnlyItsKey) {
+  const VersionBase* v5 = CommitInsert(5, {10, 0});
+  const VersionBase* v6 = CommitInsert(6, {10, 0});
+  KeyEqCriterion<TestTable> pred(&table_, 5);
+  EXPECT_TRUE(pred.MatchesVersion(*v5));
+  EXPECT_FALSE(pred.MatchesVersion(*v6));
+}
+
+TEST_F(PredicateTest, KeyEqMatchesInsertDeleteAndUpdateOfKey) {
+  const VersionBase* ins = CommitInsert(7, {1, 1});
+  KeyEqCriterion<TestTable> pred(&table_, 7);
+  EXPECT_TRUE(pred.MatchesVersion(*ins));  // phantom insert detection
+  const VersionBase* upd = CommitUpdate(7, {2, 2});
+  EXPECT_TRUE(pred.MatchesVersion(*upd));
+  const VersionBase* del = CommitDelete(7);
+  EXPECT_TRUE(pred.MatchesVersion(*del));
+}
+
+TEST_F(PredicateTest, FilterMatchesRowEnteringResultSet) {
+  CommitInsert(1, {100, 0});
+  RowFilterCriterion<TestTable> pred(
+      &table_, [](const Row& r) { return r.score >= 500; });
+  // 100 -> 600 enters the set.
+  const VersionBase* v = CommitUpdate(1, {600, 0});
+  EXPECT_TRUE(pred.MatchesVersion(*v));
+}
+
+TEST_F(PredicateTest, FilterMatchesRowLeavingResultSet) {
+  CommitInsert(2, {900, 0});
+  RowFilterCriterion<TestTable> pred(
+      &table_, [](const Row& r) { return r.score >= 500; });
+  // 900 -> 100 leaves the set: the before-image matches.
+  const VersionBase* v = CommitUpdate(2, {100, 0});
+  EXPECT_TRUE(pred.MatchesVersion(*v));
+}
+
+TEST_F(PredicateTest, FilterIgnoresIrrelevantTransitions) {
+  CommitInsert(3, {100, 0});
+  RowFilterCriterion<TestTable> pred(
+      &table_, [](const Row& r) { return r.score >= 500; });
+  // 100 -> 200: outside the set before and after.
+  const VersionBase* v = CommitUpdate(3, {200, 0});
+  EXPECT_FALSE(pred.MatchesVersion(*v));
+}
+
+TEST_F(PredicateTest, FilterMatchesDeleteOfMatchingRow) {
+  CommitInsert(4, {800, 0});
+  RowFilterCriterion<TestTable> pred(
+      &table_, [](const Row& r) { return r.score >= 500; });
+  const VersionBase* del = CommitDelete(4);
+  EXPECT_TRUE(pred.MatchesVersion(*del));
+}
+
+TEST_F(PredicateTest, FilterIgnoresDeleteOfNonMatchingRow) {
+  CommitInsert(8, {50, 0});
+  RowFilterCriterion<TestTable> pred(
+      &table_, [](const Row& r) { return r.score >= 500; });
+  const VersionBase* del = CommitDelete(8);
+  EXPECT_FALSE(pred.MatchesVersion(*del));
+}
+
+TEST_F(PredicateTest, KeyRangeMatchesDerivedKeyInRange) {
+  CommitInsert(10, {42, 0});
+  KeyRangeCriterion<TestTable, int64_t> pred(
+      &table_, 40, 50,
+      [](const uint64_t&, const Row& r) { return r.score; });
+  const VersionBase* in = CommitUpdate(10, {45, 0});
+  EXPECT_TRUE(pred.MatchesVersion(*in));
+  // Moves out of range: the before-image (45) still matches.
+  const VersionBase* out = CommitUpdate(10, {99, 0});
+  EXPECT_TRUE(pred.MatchesVersion(*out));
+  // 99 -> 120: no endpoint in range.
+  const VersionBase* out2 = CommitUpdate(10, {120, 0});
+  EXPECT_FALSE(pred.MatchesVersion(*out2));
+}
+
+TEST_F(PredicateTest, KeyRangeResidualFilterNarrows) {
+  CommitInsert(11, {45, 7});
+  KeyRangeCriterion<TestTable, int64_t> pred(
+      &table_, 40, 50, [](const uint64_t&, const Row& r) { return r.score; },
+      [](const Row& r) { return r.other > 100; });
+  const VersionBase* v = CommitUpdate(11, {46, 8});
+  EXPECT_FALSE(pred.MatchesVersion(*v));  // residual filter rejects
+  const VersionBase* v2 = CommitUpdate(11, {46, 200});
+  EXPECT_TRUE(pred.MatchesVersion(*v2));
+}
+
+TEST_F(PredicateTest, AttributeLevelShortCircuit) {
+  CommitInsert(12, {45, 0});
+  KeyEqCriterion<TestTable> pred(&table_, 12);
+  pred.set_monitored(ColumnMask::Of(0));  // watches `score` only
+  const VersionBase* other_col = CommitUpdate(12, {45, 99}, ColumnMask::Of(1));
+  EXPECT_FALSE(pred.ConflictsWith(*other_col));
+  const VersionBase* score_col = CommitUpdate(12, {46, 99}, ColumnMask::Of(0));
+  EXPECT_TRUE(pred.ConflictsWith(*score_col));
+  // Disabling the optimization makes both conflict (whole-record match).
+  g_attribute_level_validation.store(false);
+  EXPECT_TRUE(pred.ConflictsWith(*other_col));
+  g_attribute_level_validation.store(true);
+}
+
+TEST_F(PredicateTest, ConflictsWithFiltersForeignTables) {
+  TestTable other_table("other", 16);
+  Transaction t(&mgr_);
+  mgr_.Begin(&t);
+  ASSERT_EQ(t.Insert(other_table, 5, Row{1, 1}), WriteStatus::kOk);
+  ASSERT_TRUE(mgr_.TryCommit(&t, [](CommittedRecord*) { return true; }));
+  const VersionBase* foreign = mgr_.rc_head()->versions[0];
+  KeyEqCriterion<TestTable> pred(&table_, 5);
+  EXPECT_FALSE(pred.ConflictsWith(*foreign));  // same key, wrong table
+}
+
+TEST_F(PredicateTest, PartialColumnCommitMergesUnmodifiedColumns) {
+  CommitInsert(13, {10, 20});
+  // Writer A updates only `other`; its snapshot of `score` is stale by
+  // the time it commits, but the commit merges the unmodified column from
+  // the latest committed version.
+  Transaction a(&mgr_);
+  mgr_.Begin(&a);
+  ASSERT_EQ(a.Update(table_, table_.Find(13), Row{10, 777},
+                     ColumnMask::Of(1), true,
+                     WwPolicy::kAllowMultiple),
+            WriteStatus::kOk);
+  // Meanwhile `score` changes and commits.
+  CommitUpdate(13, {555, 20}, ColumnMask::Of(0));
+  ASSERT_TRUE(mgr_.TryCommit(&a, [](CommittedRecord*) { return true; }));
+  Transaction reader(&mgr_);
+  mgr_.Begin(&reader);
+  const auto* v = table_.Find(13)->ReadVisible(reader.start_ts(), 0);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->data().score, 555);  // not clobbered back to 10
+  EXPECT_EQ(v->data().other, 777);
+  mgr_.CommitReadOnly(&reader);
+}
+
+}  // namespace
+}  // namespace mv3c

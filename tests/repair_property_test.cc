@@ -1,0 +1,185 @@
+// Randomized property test for Lemma 2.4 (repair ≡ restart): build random
+// transaction programs with nested predicate structure, inject random
+// concurrent committed conflicts, and verify that driving the victim
+// through MV3C repair produces exactly the database state that a full
+// OMVCC-style restart produces on a replica.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "mv3c/mv3c_executor.h"
+
+namespace mv3c {
+namespace {
+
+struct CellRow {
+  int64_t value = 0;
+};
+using CellTable = Table<uint64_t, CellRow>;
+constexpr uint64_t kCells = 24;
+
+/// A random program: a tree of lookups, each closure updating its cell as
+/// a deterministic function of the parent's observed value and then
+/// descending into child lookups. Because every write depends on the read
+/// above it, a conflict anywhere forces exactly that subtree to re-run.
+struct ProgramSpec {
+  struct NodeSpec {
+    uint64_t cell;
+    int64_t addend;
+    std::vector<NodeSpec> children;
+  };
+  std::vector<NodeSpec> roots;
+
+  /// Cells are distinct within one program: a repeated cell across
+  /// independent branches would be an undeclared dependency (the second
+  /// read observes the first branch's write), which the MV3C DSL contract
+  /// forbids — dependent operations must nest inside the closure they
+  /// depend on (Definition 2.5).
+  static ProgramSpec Random(Xoshiro256& rng, int max_nodes) {
+    ProgramSpec spec;
+    std::vector<bool> used(kCells, false);
+    int budget = 2 + static_cast<int>(rng.NextBounded(max_nodes - 1));
+    while (budget > 0) {
+      spec.roots.push_back(RandomNode(rng, &budget, 0, &used));
+    }
+    return spec;
+  }
+
+  static NodeSpec RandomNode(Xoshiro256& rng, int* budget, int depth,
+                             std::vector<bool>* used) {
+    NodeSpec n;
+    do {
+      n.cell = rng.NextBounded(kCells);
+    } while ((*used)[n.cell]);
+    (*used)[n.cell] = true;
+    n.addend = rng.UniformInt(1, 9);
+    --*budget;
+    while (depth < 3 && *budget > 0 && rng.NextBounded(100) < 45) {
+      n.children.push_back(RandomNode(rng, budget, depth + 1, used));
+    }
+    return n;
+  }
+};
+
+ExecStatus RunNodeMv3c(Mv3cTransaction& t, CellTable& table,
+                       const ProgramSpec::NodeSpec& node, int64_t parent_seen) {
+  // DSL rule (Definition 2.5): closures capture their context BY VALUE —
+  // they may be re-executed by Repair long after the enclosing call frame
+  // (or even the program object) is gone.
+  return t.Lookup(
+      table, node.cell, ColumnMask::All(),
+      [&table, n = node, parent_seen](Mv3cTransaction& t,
+                                      CellTable::Object* obj,
+                                      const CellRow* row) -> ExecStatus {
+        if (row == nullptr) return ExecStatus::kUserAbort;
+        CellRow updated = *row;
+        updated.value = row->value * 3 + n.addend + parent_seen % 7;
+        const ExecStatus st =
+            t.UpdateRow(table, obj, updated, ColumnMask::All());
+        if (st != ExecStatus::kOk) return st;
+        for (const auto& child : n.children) {
+          const ExecStatus cst = RunNodeMv3c(t, table, child, row->value);
+          if (cst != ExecStatus::kOk) return cst;
+        }
+        return ExecStatus::kOk;
+      });
+}
+
+Mv3cExecutor::Program Mv3cProgram(CellTable& table, const ProgramSpec& spec) {
+  return [&table, spec](Mv3cTransaction& t) -> ExecStatus {
+    for (const auto& root : spec.roots) {
+      const ExecStatus st = RunNodeMv3c(t, table, root, 0);
+      if (st != ExecStatus::kOk) return st;
+    }
+    return ExecStatus::kOk;
+  };
+}
+
+
+std::vector<int64_t> Snapshot(CellTable& table) {
+  std::vector<int64_t> out;
+  for (uint64_t c = 0; c < kCells; ++c) {
+    const auto* v = table.Find(c)->ReadVisible(kTxnIdBase - 1, 0);
+    out.push_back(v == nullptr ? -1 : v->data().value);
+  }
+  return out;
+}
+
+class RepairPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairPropertyTest, RepairMatchesRestartStateExactly) {
+  Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    // Two replicas of the same database.
+    TransactionManager mgr_a, mgr_b;
+    CellTable table_a("cells_a", 64, WwPolicy::kAllowMultiple);
+    CellTable table_b("cells_b", 64, WwPolicy::kAllowMultiple);
+    auto load = [&](TransactionManager& m, CellTable& tbl) {
+      Mv3cExecutor e(&m);
+      e.Run([&](Mv3cTransaction& t) {
+        for (uint64_t c = 0; c < kCells; ++c) {
+          t.InsertRow(tbl, c, CellRow{static_cast<int64_t>(c * 10)});
+        }
+        return ExecStatus::kOk;
+      });
+    };
+    load(mgr_a, table_a);
+    load(mgr_b, table_b);
+
+    const ProgramSpec victim_spec = ProgramSpec::Random(rng, 10);
+    const ProgramSpec intruder_spec = ProgramSpec::Random(rng, 4);
+
+    // Replica A: victim executes, intruder commits, victim REPAIRS.
+    Mv3cExecutor victim_a(&mgr_a);
+    victim_a.Reset(Mv3cProgram(table_a, victim_spec));
+    victim_a.Begin();
+    StepResult ra;
+    {
+      // Execute the victim's first round only (no commit attempt yet):
+      // Step() includes the attempt, so stage via a manual program run.
+      ASSERT_EQ(victim_a.txn().RunProgram(Mv3cProgram(table_a, victim_spec)),
+                ExecStatus::kOk);
+      Mv3cExecutor intruder(&mgr_a);
+      ASSERT_EQ(intruder.Run(Mv3cProgram(table_a, intruder_spec)),
+                StepResult::kCommitted);
+      // Validate+repair loop through the manager.
+      int guard = 0;
+      do {
+        if (!victim_a.txn().PrevalidateAndMark()) {
+          mgr_a.Retimestamp(&victim_a.txn().inner());
+          ASSERT_EQ(victim_a.txn().Repair(), ExecStatus::kOk);
+          ra = StepResult::kNeedsRetry;
+        } else if (mgr_a.TryCommit(&victim_a.txn().inner(),
+                                   [&](CommittedRecord* h) {
+                                     return victim_a.txn().ValidateAndMark(h);
+                                   })) {
+          ra = StepResult::kCommitted;
+        } else {
+          ASSERT_EQ(victim_a.txn().Repair(), ExecStatus::kOk);
+          ra = StepResult::kNeedsRetry;
+        }
+        ASSERT_LT(++guard, 20);
+      } while (ra != StepResult::kCommitted);
+    }
+
+    // Replica B: intruder commits first, victim runs fresh (the restart
+    // semantics).
+    Mv3cExecutor intruder_b(&mgr_b);
+    ASSERT_EQ(intruder_b.Run(Mv3cProgram(table_b, intruder_spec)),
+              StepResult::kCommitted);
+    Mv3cExecutor victim_b(&mgr_b);
+    ASSERT_EQ(victim_b.Run(Mv3cProgram(table_b, victim_spec)),
+              StepResult::kCommitted);
+
+    ASSERT_EQ(Snapshot(table_a), Snapshot(table_b))
+        << "repair diverged from restart on round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairPropertyTest,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace mv3c

@@ -1,0 +1,74 @@
+// Ripple-effect simulator tests (paper Appendix C.3 / Figure 7(c)).
+
+#include <gtest/gtest.h>
+
+#include "driver/ripple_simulator.h"
+
+namespace mv3c {
+namespace {
+
+RippleSimulator::Params PaperParams(uint64_t retry_cost,
+                                    uint64_t period = 251) {
+  RippleSimulator::Params p;
+  p.exec_cost = 250;
+  p.retry_cost = retry_cost;
+  p.fast_period = period;
+  p.slow_period = 72'000'000;
+  p.n_fast = 5000;
+  return p;
+}
+
+TEST(RippleSimulatorTest, SingleDisturbanceRipplesThroughTheStream) {
+  const auto s = RippleSimulator::Run(PaperParams(250));
+  // One slow-stream transaction at t=0 makes essentially every subsequent
+  // transaction fail validation once.
+  EXPECT_GT(s.total_retries, s.txns.size() * 9 / 10);
+  // Latency keeps growing: the backlog feeds on itself.
+  EXPECT_GT(s.txns.back().Latency(), s.txns[100].Latency());
+}
+
+TEST(RippleSimulatorTest, CheaperRepairSlowsTheDivergence) {
+  const auto omvcc = RippleSimulator::Run(PaperParams(250));
+  const auto mv3c = RippleSimulator::Run(PaperParams(187));
+  EXPECT_LT(mv3c.mean_latency, omvcc.mean_latency);
+  EXPECT_LT(mv3c.max_latency, omvcc.max_latency);
+  EXPECT_LT(mv3c.makespan, omvcc.makespan);
+  // Divergence slope ratio roughly (437-251)/(500-251).
+  const double slope_mv3c =
+      static_cast<double>(mv3c.txns.back().Latency()) / mv3c.txns.size();
+  const double slope_omvcc =
+      static_cast<double>(omvcc.txns.back().Latency()) / omvcc.txns.size();
+  EXPECT_NEAR(slope_mv3c / slope_omvcc, 186.0 / 249.0, 0.05);
+}
+
+TEST(RippleSimulatorTest, QualitativeSplitAtIntermediateRate) {
+  // With 470 time units between arrivals, MV3C's conflicted service time
+  // (437) fits in the period — its backlog drains and the tail runs
+  // conflict-free — while OMVCC's (500) does not and diverges.
+  const auto omvcc = RippleSimulator::Run(PaperParams(250, 470));
+  const auto mv3c = RippleSimulator::Run(PaperParams(187, 470));
+  EXPECT_EQ(mv3c.txns.back().Latency(), 250u);   // healed
+  EXPECT_GT(omvcc.txns.back().Latency(), 50000u);  // diverged
+  EXPECT_LT(mv3c.total_retries, omvcc.total_retries / 10);
+}
+
+TEST(RippleSimulatorTest, LatencyIsMonotoneInRetryCost) {
+  double prev = -1;
+  for (uint64_t cost : {100, 150, 187, 220, 250}) {
+    const auto s = RippleSimulator::Run(PaperParams(cost));
+    EXPECT_GE(s.mean_latency, prev);
+    prev = s.mean_latency;
+  }
+}
+
+TEST(RippleSimulatorTest, WidelySpacedArrivalsNeverConflict) {
+  RippleSimulator::Params p = PaperParams(250, 1000);
+  p.n_fast = 100;
+  const auto s = RippleSimulator::Run(p);
+  // Only the t=0 collision with the slow stream costs a retry.
+  EXPECT_LE(s.total_retries, 2u);
+  EXPECT_EQ(s.txns.back().Latency(), 250u);
+}
+
+}  // namespace
+}  // namespace mv3c
