@@ -42,6 +42,11 @@ struct RunResult {
   double seconds = 0;
   uint64_t committed = 0;
   uint64_t user_aborted = 0;
+  uint64_t exhausted = 0;        // gave up after the retry budget
+  uint64_t escalations = 0;      // failed rounds re-entering the window
+  uint64_t max_rounds = 0;       // most rounds any one transaction took
+  uint64_t backoff_us = 0;       // microseconds slept backing off
+  uint64_t failpoint_trips = 0;  // injected faults observed
   uint64_t conflict_rounds = 0;  // repairs (MV3C) or restarts (others)
   uint64_t ww_restarts = 0;
   double Tps() const {
@@ -62,7 +67,12 @@ RunResult Drive(size_t window, uint64_t n_txns, MakeExec&& make_exec,
   out.seconds = timer.Seconds();
   out.committed = r.committed;
   out.user_aborted = r.user_aborted;
+  out.exhausted = r.exhausted;
+  out.escalations = r.escalations;
+  out.max_rounds = r.max_rounds;
   for (Executor* e : driver.executors()) {
+    out.backoff_us += e->stats().backoff_us;
+    out.failpoint_trips += e->stats().failpoint_trips;
     if constexpr (requires { e->stats().repair_rounds; }) {
       out.conflict_rounds += e->stats().repair_rounds;
       out.ww_restarts += e->stats().ww_restarts;

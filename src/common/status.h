@@ -37,7 +37,25 @@ enum class StepResult {
   /// The transaction needs another step: validation failed (repair or
   /// restart pending) or it hit a fail-fast write-write conflict.
   kNeedsRetry,
+  /// The transaction exceeded its retry-policy attempt budget and was
+  /// rolled back and abandoned instead of spinning (starvation backstop;
+  /// see common/retry_policy.h). Terminal, like kUserAborted.
+  kExhausted,
 };
+
+inline const char* ToString(StepResult r) {
+  switch (r) {
+    case StepResult::kCommitted:
+      return "Committed";
+    case StepResult::kUserAborted:
+      return "UserAborted";
+    case StepResult::kNeedsRetry:
+      return "NeedsRetry";
+    case StepResult::kExhausted:
+      return "Exhausted";
+  }
+  return "?";
+}
 
 inline const char* ToString(ExecStatus s) {
   switch (s) {

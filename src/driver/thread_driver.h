@@ -29,14 +29,20 @@ class ThreadDriver {
   /// `make_executor(worker_id)` creates the per-worker executor;
   /// `program_at(txn_index, worker_id)` generates the i-th transaction.
   /// Worker 0 runs `maintenance` every ~1024 of its own completions.
+  /// `round_cap` is the driver-level starvation backstop: after that many
+  /// failed rounds the transaction is abandoned via Executor::GiveUp()
+  /// (0 leaves bounding to the executor's own retry policy, which by
+  /// default still caps the loop — this loop is no longer unbounded).
   template <typename MakeExecutor, typename ProgramAt>
   static DriveResult Run(size_t num_threads, uint64_t num_txns,
                          MakeExecutor&& make_executor, ProgramAt&& program_at,
                          std::function<void()> maintenance = nullptr,
                          std::vector<std::unique_ptr<Executor>>* out_executors =
-                             nullptr) {
+                             nullptr,
+                         uint32_t round_cap = 0) {
     std::atomic<uint64_t> next{0};
-    std::atomic<uint64_t> committed{0}, user_aborted{0}, steps{0};
+    std::atomic<uint64_t> committed{0}, user_aborted{0}, exhausted{0};
+    std::atomic<uint64_t> escalations{0}, max_rounds{0}, steps{0};
     std::vector<std::unique_ptr<Executor>> executors;
     executors.reserve(num_threads);
     for (size_t w = 0; w < num_threads; ++w) {
@@ -45,7 +51,8 @@ class ThreadDriver {
     const auto t0 = std::chrono::steady_clock::now();
     auto worker = [&](size_t w) {
       Executor& exec = *executors[w];
-      uint64_t local_commits = 0, local_aborts = 0, local_steps = 0;
+      uint64_t local_commits = 0, local_aborts = 0, local_exhausted = 0;
+      uint64_t local_escalations = 0, local_max_rounds = 0, local_steps = 0;
       uint64_t since_maintenance = 0;
       while (true) {
         const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -53,12 +60,23 @@ class ThreadDriver {
         exec.Reset(program_at(i, w));
         exec.Begin();
         StepResult r;
-        do {
+        uint32_t rounds = 0;
+        while (true) {
           ++local_steps;
           r = exec.Step();
-        } while (r == StepResult::kNeedsRetry);
+          if (r != StepResult::kNeedsRetry) break;
+          ++rounds;
+          ++local_escalations;
+          if (round_cap != 0 && rounds >= round_cap) {
+            r = exec.GiveUp();
+            break;
+          }
+        }
+        if (rounds > local_max_rounds) local_max_rounds = rounds;
         if (r == StepResult::kCommitted) {
           ++local_commits;
+        } else if (r == StepResult::kExhausted) {
+          ++local_exhausted;
         } else {
           ++local_aborts;
         }
@@ -70,7 +88,14 @@ class ThreadDriver {
       }
       committed.fetch_add(local_commits, std::memory_order_relaxed);
       user_aborted.fetch_add(local_aborts, std::memory_order_relaxed);
+      exhausted.fetch_add(local_exhausted, std::memory_order_relaxed);
+      escalations.fetch_add(local_escalations, std::memory_order_relaxed);
       steps.fetch_add(local_steps, std::memory_order_relaxed);
+      uint64_t seen = max_rounds.load(std::memory_order_relaxed);
+      while (seen < local_max_rounds &&
+             !max_rounds.compare_exchange_weak(seen, local_max_rounds,
+                                               std::memory_order_relaxed)) {
+      }
     };
     std::vector<std::thread> threads;
     threads.reserve(num_threads);
@@ -81,6 +106,9 @@ class ThreadDriver {
     DriveResult result;
     result.committed = committed.load();
     result.user_aborted = user_aborted.load();
+    result.exhausted = exhausted.load();
+    result.escalations = escalations.load();
+    result.max_rounds = max_rounds.load();
     result.steps = steps.load();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
     if (out_executors != nullptr) *out_executors = std::move(executors);

@@ -1,6 +1,7 @@
 #ifndef MV3C_DRIVER_WINDOW_DRIVER_H_
 #define MV3C_DRIVER_WINDOW_DRIVER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -16,8 +17,11 @@ namespace mv3c {
 struct DriveResult {
   uint64_t committed = 0;
   uint64_t user_aborted = 0;
-  uint64_t steps = 0;  // total executor steps (execution slices)
-  double seconds = 0;  // wall-clock time of the run
+  uint64_t exhausted = 0;    // gave up after the retry budget
+  uint64_t escalations = 0;  // failed rounds that re-entered the window
+  uint64_t max_rounds = 0;   // most rounds any one transaction took
+  uint64_t steps = 0;        // total executor steps (execution slices)
+  double seconds = 0;        // wall-clock time of the run
 };
 
 /// Window-based simulated concurrency (paper Appendix C).
@@ -76,6 +80,7 @@ class WindowDriver {
             slot.executor->Reset(std::move(*p));
             slot.executor->Begin();
             slot.busy = true;
+            slot.rounds = 0;
             slot.stream_index = next_index_++;
           }
         }
@@ -95,11 +100,23 @@ class WindowDriver {
           steps_since_maintenance = 0;
           maintenance_();
         }
-        const StepResult r = slot.executor->Step();
-        if (r == StepResult::kNeedsRetry) continue;  // next window
+        StepResult r = slot.executor->Step();
+        if (r == StepResult::kNeedsRetry) {
+          // A failed round re-enters the next window. Count it — silent
+          // re-queuing is how starvation hides — and enforce the driver-
+          // level round cap on top of the executor's own attempt budget.
+          ++slot.rounds;
+          ++result.escalations;
+          result.max_rounds = std::max<uint64_t>(result.max_rounds,
+                                                 slot.rounds);
+          if (round_cap_ == 0 || slot.rounds < round_cap_) continue;
+          r = slot.executor->GiveUp();
+        }
         slot.busy = false;
         if (r == StepResult::kCommitted) {
           ++result.committed;
+        } else if (r == StepResult::kExhausted) {
+          ++result.exhausted;
         } else {
           ++result.user_aborted;
         }
@@ -125,16 +142,23 @@ class WindowDriver {
 
   void set_on_complete(CompletionFn fn) { on_complete_ = std::move(fn); }
 
+  /// Driver-level starvation backstop: after `cap` failed rounds the slot's
+  /// transaction is abandoned via Executor::GiveUp() (counted as exhausted).
+  /// 0 (the default) leaves bounding to the executor's retry policy.
+  void set_round_cap(uint32_t cap) { round_cap_ = cap; }
+
  private:
   struct Slot {
     std::unique_ptr<Executor> executor;
     bool busy;
+    uint32_t rounds = 0;
     uint64_t stream_index = 0;
   };
 
   std::vector<Slot> slots_;
   MaintenanceFn maintenance_;
   CompletionFn on_complete_;
+  uint32_t round_cap_ = 0;
   uint64_t next_index_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/spinlock.h"
 
@@ -59,7 +60,16 @@ class CuckooMap {
   /// the key is already present.
   bool Insert(const K& key, const V& value) {
     const uint64_t h = HashOf(key);
+    bool injected_retry = false;
     while (true) {
+      if (!injected_retry && MV3C_FAILPOINT(failpoint::Site::kCuckooInsert)) {
+        // Injected spurious restart: behave as if a concurrent resize
+        // invalidated the optimistic snapshot, exercising the retry path
+        // without needing a real racing resize. One shot per call so an
+        // always-firing config cannot livelock the insert.
+        injected_retry = true;
+        continue;
+      }
       const size_t mask = Mask();
       const size_t b1 = h & mask;
       const size_t b2 = AltIndexOf(b1, h, mask);

@@ -1,10 +1,13 @@
 #ifndef MV3C_MV3C_MV3C_EXECUTOR_H_
 #define MV3C_MV3C_MV3C_EXECUTOR_H_
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
+#include "common/retry_policy.h"
 #include "common/status.h"
 #include "mv3c/mv3c_transaction.h"
 
@@ -22,18 +25,28 @@ namespace mv3c {
 /// (Appendix C simulated concurrency) interleaves steps of many executors,
 /// moving transactions that fail to the next window exactly as the paper
 /// describes.
+///
+/// Every failed round consults the RetryController, which walks the
+/// starvation-free escalation ladder (common/retry_policy.h):
+/// repair -> §4.3 exclusive repair -> full restart -> kExhausted. The
+/// budget makes Step() loops terminate even under adversarial contention
+/// or failpoint injection; kExhausted rolls the transaction back and
+/// removes it from the active table, exactly like a user abort, so the
+/// system stays consistent when a transaction is shed.
 class Mv3cExecutor {
  public:
   using Program = std::function<ExecStatus(Mv3cTransaction&)>;
 
   Mv3cExecutor(TransactionManager* mgr, Mv3cConfig config = {})
-      : config_(config), txn_(mgr) {}
+      : config_(config), ctrl_(MergedPolicy(config)), txn_(mgr) {}
 
   /// Installs the program of the next logical transaction.
   void Reset(Program program) {
     program_ = std::move(program);
     phase_ = Phase::kExecute;
-    failed_rounds_ = 0;
+    // Threshold 0 means "exclusive from the very first commit attempt".
+    exclusive_mode_ = config_.exclusive_repair_after == 0;
+    ctrl_.Reset();
     txn_.ResetGraph();  // drop any graph left from the previous transaction
   }
 
@@ -63,11 +76,7 @@ class Mv3cExecutor {
       return StepResult::kCommitted;
     }
 
-    const bool exclusive =
-        config_.exclusive_repair_after >= 0 &&
-        failed_rounds_ >= config_.exclusive_repair_after;
-
-    if (exclusive) {
+    if (exclusive_mode_) {
       // §4.3: the bulk of validation still runs outside the lock (marking
       // only); the in-lock pass covers the delta, and if anything is
       // invalid the repair itself runs inside the critical section so the
@@ -77,7 +86,11 @@ class Mv3cExecutor {
       const ExecStatus xs = txn_.manager()->TryCommitExclusive(
           &txn_.inner(),
           [this](CommittedRecord* head) {
-            const bool delta_clean = txn_.ValidateAndMark(head);
+            bool delta_clean = txn_.ValidateAndMark(head);
+            if (MV3C_FAILPOINT(failpoint::Site::kCommitExclusiveDelta) &&
+                txn_.ForceInvalidatePredicate()) {
+              delta_clean = false;
+            }
             return delta_clean && !txn_.HasInvalidPredicates();
           },
           [this]() {
@@ -102,7 +115,12 @@ class Mv3cExecutor {
     if (txn_.manager()->TryCommit(
             &txn_.inner(),
             [this](CommittedRecord* head) {
-              return txn_.ValidateAndMark(head);
+              bool ok = txn_.ValidateAndMark(head);
+              if (MV3C_FAILPOINT(failpoint::Site::kCommitDelta) &&
+                  txn_.ForceInvalidatePredicate()) {
+                ok = false;
+              }
+              return ok;
             },
             &last_commit_ts_)) {
       ++txn_.stats().commits;
@@ -112,7 +130,8 @@ class Mv3cExecutor {
     return FailRound();
   }
 
-  /// Convenience driver: runs the transaction to completion.
+  /// Convenience driver: runs the transaction to completion. The loop is
+  /// bounded by the retry policy's attempt budget (kExhausted is terminal).
   StepResult Run(Program program) {
     Reset(std::move(program));
     Begin();
@@ -123,14 +142,28 @@ class Mv3cExecutor {
     return r;
   }
 
+  /// Starvation backstop for drivers: abandons the in-flight transaction
+  /// (rollback, leave the active table) and reports kExhausted.
+  StepResult GiveUp() { return FinishExhausted(); }
+
   Mv3cTransaction& txn() { return txn_; }
   const Mv3cStats& stats() const {
     return const_cast<Mv3cExecutor*>(this)->txn_.stats();
   }
   Timestamp last_commit_ts() const { return last_commit_ts_; }
+  uint32_t attempts() const { return ctrl_.attempts(); }
+  const RetryPolicy& retry_policy() const { return ctrl_.policy(); }
 
  private:
   enum class Phase { kExecute, kRepair, kRestart };
+
+  /// The executor predates the policy layer; its `exclusive_repair_after`
+  /// knob keeps working by overriding the policy's copy.
+  static RetryPolicy MergedPolicy(const Mv3cConfig& config) {
+    RetryPolicy p = config.retry;
+    p.exclusive_repair_after = config.exclusive_repair_after;
+    return p;
+  }
 
   StepResult FinishUserAbort() {
     txn_.RollbackAll();
@@ -139,7 +172,30 @@ class Mv3cExecutor {
     return StepResult::kUserAborted;
   }
 
+  StepResult FinishExhausted() {
+    txn_.RollbackAll();
+    txn_.manager()->FinishAborted(&txn_.inner());
+    ++txn_.stats().exhausted;
+    return StepResult::kExhausted;
+  }
+
+  /// Records one failed round with the controller and mirrors its state
+  /// into the stats counters; returns the escalation decision.
+  RetryDecision NoteFailure() {
+    const RetryDecision d = ctrl_.OnFailure();
+    Mv3cStats& s = txn_.stats();
+    s.max_rounds = std::max<uint64_t>(s.max_rounds, ctrl_.attempts());
+    s.backoff_us = ctrl_.backoff_us_total();
+    if (d == RetryDecision::kExclusiveRepair && !exclusive_mode_) {
+      exclusive_mode_ = true;
+      ++s.escalations;
+    }
+    return d;
+  }
+
   StepResult BeginRestart() {
+    const RetryDecision d = NoteFailure();
+    if (d == RetryDecision::kGiveUp) return FinishExhausted();
     txn_.RollbackAll();
     txn_.manager()->Restart(&txn_.inner());
     ++txn_.stats().ww_restarts;
@@ -149,16 +205,32 @@ class Mv3cExecutor {
 
   StepResult FailRound() {
     ++txn_.stats().validation_failures;
-    ++failed_rounds_;
-    phase_ = Phase::kRepair;
+    const RetryDecision d = NoteFailure();
+    switch (d) {
+      case RetryDecision::kGiveUp:
+        return FinishExhausted();
+      case RetryDecision::kRestart:
+        // Escalation past repair: the predicate graph kept getting
+        // re-invalidated, so throw it away and re-execute from scratch.
+        ++txn_.stats().escalations;
+        txn_.RollbackAll();
+        txn_.manager()->Restart(&txn_.inner());
+        phase_ = Phase::kRestart;
+        return StepResult::kNeedsRetry;
+      case RetryDecision::kExclusiveRepair:
+      case RetryDecision::kRetry:
+        phase_ = Phase::kRepair;
+        return StepResult::kNeedsRetry;
+    }
     return StepResult::kNeedsRetry;
   }
 
   Mv3cConfig config_;
+  RetryController ctrl_;
   Mv3cTransaction txn_;
   Program program_;
   Phase phase_ = Phase::kExecute;
-  int failed_rounds_ = 0;
+  bool exclusive_mode_ = false;
   Timestamp last_commit_ts_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #ifndef MV3C_MV3C_MV3C_TRANSACTION_H_
 #define MV3C_MV3C_MV3C_TRANSACTION_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -8,7 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
+#include "common/retry_policy.h"
 #include "common/status.h"
 #include "mvcc/predicate.h"
 #include "mvcc/transaction.h"
@@ -28,6 +31,11 @@ struct Mv3cStats {
   uint64_t reexecuted_closures = 0;   // frontier closures re-run by Repair
   uint64_t result_set_fixes = 0;      // §4.2 patched scans
   uint64_t exclusive_repairs = 0;     // §4.3 in-critical-section repairs
+  uint64_t escalations = 0;           // retry-policy ladder transitions
+  uint64_t exhausted = 0;             // gave up after the attempt budget
+  uint64_t backoff_us = 0;            // microseconds slept backing off
+  uint64_t failpoint_trips = 0;       // injected faults observed
+  uint64_t max_rounds = 0;            // most failed rounds in one txn
 
   void Add(const Mv3cStats& o) {
     commits += o.commits;
@@ -39,6 +47,11 @@ struct Mv3cStats {
     reexecuted_closures += o.reexecuted_closures;
     result_set_fixes += o.result_set_fixes;
     exclusive_repairs += o.exclusive_repairs;
+    escalations += o.escalations;
+    exhausted += o.exhausted;
+    backoff_us += o.backoff_us;
+    failpoint_trips += o.failpoint_trips;
+    max_rounds = std::max(max_rounds, o.max_rounds);
   }
 };
 
@@ -48,6 +61,10 @@ struct Mv3cConfig {
   /// repair runs inside the commit critical section and the transaction is
   /// guaranteed to commit right after. Negative disables the optimization.
   int exclusive_repair_after = -1;
+  /// Starvation-free retry policy: attempt budget, repair->restart
+  /// escalation, and backoff. `retry.exclusive_repair_after` is ignored in
+  /// favor of the knob above (which predates the policy layer).
+  RetryPolicy retry{};
 };
 
 /// One entry of a scan result-set: the data object plus a snapshot copy of
@@ -301,9 +318,31 @@ class Mv3cTransaction {
   /// predicate was invalidated.
   bool PrevalidateAndMark() {
     CommittedRecord* head = mgr_->rc_head();
-    const bool clean = ValidateAndMark(head);
+    bool clean = ValidateAndMark(head);
+    if (MV3C_FAILPOINT(failpoint::Site::kPrevalidate) &&
+        ForceInvalidatePredicate()) {
+      clean = false;
+    }
     if (head != nullptr) inner_.set_validated_up_to(head->commit_ts);
     return clean;
+  }
+
+  /// Failpoint support: marks one valid predicate invalid, pretending a
+  /// concurrent commit invalidated that read. Repair then prunes and
+  /// re-executes its closure exactly as for a genuine conflict, so the
+  /// injection perturbs scheduling without breaking serializability.
+  /// Returns false (no injection possible) when every predicate is already
+  /// invalid or the transaction has none (blind-write-only programs).
+  bool ForceInvalidatePredicate() {
+    for (PredicateBase* p : all_predicates_) {
+      if (!p->invalid()) {
+        p->set_invalid(true);
+        ++stats_.invalidated_predicates;
+        ++stats_.failpoint_trips;
+        return true;
+      }
+    }
+    return false;
   }
 
   /// Validation pass over records newer than the validated watermark

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/spinlock.h"
 #include "mvcc/timestamp.h"
@@ -83,6 +84,12 @@ class DataObjectBase {
   /// conflict, preserving §2.3.1's fail-fast rule for them.
   PushResult Push(VersionBase* v, WwPolicy policy, Timestamp start_ts,
                   Timestamp txn_id) {
+    if (MV3C_FAILPOINT(failpoint::Site::kVersionChainPush)) {
+      // Injected spurious contention failure: indistinguishable from a
+      // genuine write-write conflict, so the caller's rollback-and-restart
+      // path handles it and serializability is unaffected.
+      return PushResult::kWwConflict;
+    }
     std::lock_guard<SpinLock> g(chain_lock_);
     if (policy == WwPolicy::kFailFast) {
       for (VersionBase* cur = head(); cur != nullptr; cur = cur->next()) {

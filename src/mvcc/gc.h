@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/spinlock.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
@@ -55,6 +56,28 @@ class GarbageCollector {
   /// Frees retired nodes whose era is strictly below `safe_before` (the
   /// oldest active start timestamp). Returns the number of nodes freed.
   size_t Collect(Timestamp safe_before) {
+    if (MV3C_FAILPOINT(failpoint::Site::kGcReclaim)) {
+      // Injected lagging collector: skip this reclamation round so retired
+      // nodes pile up, stressing the grace-period safety of every reader
+      // standing on an unlinked version.
+      return 0;
+    }
+    return CollectImpl(safe_before);
+  }
+
+  /// Frees everything unconditionally; only valid when no transaction is
+  /// active (shutdown, tests). Bypasses the kGcReclaim failpoint: teardown
+  /// must reclaim even while a chaos schedule is armed.
+  size_t CollectAll() { return CollectImpl(kDeadVersion); }
+
+  /// Number of nodes awaiting reclamation; test/metrics helper.
+  size_t PendingCount() const {
+    std::lock_guard<SpinLock> g(lock_);
+    return versions_.size() + records_.size();
+  }
+
+ private:
+  size_t CollectImpl(Timestamp safe_before) {
     std::lock_guard<SpinLock> g(lock_);
     size_t freed = 0;
     while (!versions_.empty() && versions_.front().era < safe_before) {
@@ -70,17 +93,6 @@ class GarbageCollector {
     return freed;
   }
 
-  /// Frees everything unconditionally; only valid when no transaction is
-  /// active (shutdown, tests).
-  size_t CollectAll() { return Collect(kDeadVersion); }
-
-  /// Number of nodes awaiting reclamation; test/metrics helper.
-  size_t PendingCount() const {
-    std::lock_guard<SpinLock> g(lock_);
-    return versions_.size() + records_.size();
-  }
-
- private:
   struct RetiredVersion {
     Timestamp era;
     VersionBase* version;

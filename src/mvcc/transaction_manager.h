@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/spinlock.h"
 #include "mvcc/gc.h"
@@ -156,6 +157,10 @@ class TransactionManager {
   /// repair path (validation failed during pre-validation, outside the
   /// commit critical section). Keeps the validation watermark.
   void Retimestamp(Transaction* t) {
+    // Delay/yield injection point: widens the window between a failed
+    // pre-validation and the repair round so concurrent commits can slip
+    // in (the repeated-invalidation schedule the chaos tests force).
+    (void)MV3C_FAILPOINT(failpoint::Site::kRetimestamp);
     std::lock_guard<SpinLock> g(commit_lock_);
     RetimestampLocked(t);
   }

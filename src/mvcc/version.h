@@ -57,8 +57,21 @@ class VersionBase {
   /// Columns modified relative to the previous committed version; supports
   /// attribute-level predicate validation (§4.1). Inserts and deletes set
   /// the full mask.
-  ColumnMask modified_columns() const { return modified_; }
-  void set_modified_columns(ColumnMask m) { modified_ = m; }
+  ///
+  /// Stored atomically: PublishCommit rewrites the mask (the §2.4.1 merge
+  /// of a transaction's per-object effects) on a version that is already
+  /// linked in its chain, concurrently with fail-fast Push scans reading
+  /// it. Relaxed ordering suffices — pre-commit readers only make a
+  /// conservative conflict heuristic (the columns a stale read misses are
+  /// carried by the writer's older chained version, which the same scan
+  /// visits), and the committed value is ordered by the release store of
+  /// the commit timestamp.
+  ColumnMask modified_columns() const {
+    return ColumnMask(modified_bits_.load(std::memory_order_relaxed));
+  }
+  void set_modified_columns(ColumnMask m) {
+    modified_bits_.store(m.bits(), std::memory_order_relaxed);
+  }
 
   /// True if this version logically deletes the row.
   bool tombstone() const { return tombstone_; }
@@ -110,7 +123,7 @@ class VersionBase {
   TableBase* table_;
   DataObjectBase* object_;
   VersionBase* next_in_predicate_ = nullptr;  // MV3C extra pointer (V(X))
-  ColumnMask modified_ = ColumnMask::All();
+  std::atomic<uint64_t> modified_bits_{ColumnMask::All().bits()};
   bool tombstone_ = false;
   bool is_insert_ = false;
   bool blind_write_ = false;

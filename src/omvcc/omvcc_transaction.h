@@ -1,10 +1,13 @@
 #ifndef MV3C_OMVCC_OMVCC_TRANSACTION_H_
 #define MV3C_OMVCC_OMVCC_TRANSACTION_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/failpoint.h"
+#include "common/retry_policy.h"
 #include "common/status.h"
 #include "mvcc/predicate.h"
 #include "mvcc/transaction.h"
@@ -18,12 +21,20 @@ struct OmvccStats {
   uint64_t user_aborts = 0;
   uint64_t ww_restarts = 0;          // premature aborts on WW conflicts
   uint64_t validation_failures = 0;  // abort-and-restart on failed validation
+  uint64_t exhausted = 0;            // gave up after the attempt budget
+  uint64_t backoff_us = 0;           // microseconds slept backing off
+  uint64_t failpoint_trips = 0;      // injected faults observed
+  uint64_t max_rounds = 0;           // most failed rounds in one txn
 
   void Add(const OmvccStats& o) {
     commits += o.commits;
     user_aborts += o.user_aborts;
     ww_restarts += o.ww_restarts;
     validation_failures += o.validation_failures;
+    exhausted += o.exhausted;
+    backoff_us += o.backoff_us;
+    failpoint_trips += o.failpoint_trips;
+    max_rounds = std::max(max_rounds, o.max_rounds);
   }
 };
 
@@ -154,7 +165,13 @@ class OmvccTransaction {
   /// conflict (OMVCC cannot use more than one, §2.4).
   bool Prevalidate() {
     CommittedRecord* head = mgr_->rc_head();
-    const bool clean = Validate(head);
+    bool clean = Validate(head);
+    if (clean && MV3C_FAILPOINT(failpoint::Site::kPrevalidate)) {
+      // Injected validation failure: OMVCC restarts from scratch on any
+      // conflict, so pretending one exists is always safe.
+      ++stats_.failpoint_trips;
+      clean = false;
+    }
     if (head != nullptr) inner_.set_validated_up_to(head->commit_ts);
     return clean;
   }
@@ -196,15 +213,19 @@ class OmvccTransaction {
 
 /// Step-based driver for OMVCC transactions: every failure path — user
 /// abort excepted — rolls back and re-executes the program from scratch
-/// with a fresh start timestamp.
+/// with a fresh start timestamp. The retry policy bounds the restart loop:
+/// OMVCC has no repair to escalate to, so the ladder degenerates to
+/// restart-with-backoff until the budget runs out (kExhausted).
 class OmvccExecutor {
  public:
   using Program = std::function<ExecStatus(OmvccTransaction&)>;
 
-  explicit OmvccExecutor(TransactionManager* mgr) : txn_(mgr) {}
+  explicit OmvccExecutor(TransactionManager* mgr, RetryPolicy policy = {})
+      : ctrl_(policy), txn_(mgr) {}
 
   void Reset(Program program) {
     program_ = std::move(program);
+    ctrl_.Reset();
     txn_.ClearPredicates();  // drop state from the previous transaction
   }
 
@@ -222,7 +243,7 @@ class OmvccExecutor {
       txn_.RollbackAll();
       txn_.manager()->Restart(&txn_.inner());
       ++txn_.stats().ww_restarts;
-      return StepResult::kNeedsRetry;
+      return FailRound();
     }
     if (txn_.ReadOnly()) {
       txn_.manager()->CommitReadOnly(&txn_.inner());
@@ -237,7 +258,14 @@ class OmvccExecutor {
     }
     if (txn_.manager()->TryCommit(
             &txn_.inner(),
-            [this](CommittedRecord* head) { return txn_.Validate(head); },
+            [this](CommittedRecord* head) {
+              bool ok = txn_.Validate(head);
+              if (ok && MV3C_FAILPOINT(failpoint::Site::kCommitDelta)) {
+                ++txn_.stats().failpoint_trips;
+                ok = false;
+              }
+              return ok;
+            },
             &last_commit_ts_)) {
       ++txn_.stats().commits;
       txn_.ClearPredicates();
@@ -246,6 +274,7 @@ class OmvccExecutor {
     return FailValidation();
   }
 
+  /// Runs the transaction to completion; bounded by the attempt budget.
   StepResult Run(Program program) {
     Reset(std::move(program));
     Begin();
@@ -256,11 +285,15 @@ class OmvccExecutor {
     return r;
   }
 
+  /// Starvation backstop for drivers: abandons the in-flight transaction.
+  StepResult GiveUp() { return FinishExhausted(); }
+
   OmvccTransaction& txn() { return txn_; }
   const OmvccStats& stats() const {
     return const_cast<OmvccExecutor*>(this)->txn_.stats();
   }
   Timestamp last_commit_ts() const { return last_commit_ts_; }
+  uint32_t attempts() const { return ctrl_.attempts(); }
 
  private:
   StepResult FailValidation() {
@@ -270,9 +303,26 @@ class OmvccExecutor {
     txn_.RollbackAll();
     txn_.inner().ResetValidationWatermark();
     ++txn_.stats().validation_failures;
+    return FailRound();
+  }
+
+  StepResult FailRound() {
+    const RetryDecision d = ctrl_.OnFailure();
+    OmvccStats& s = txn_.stats();
+    s.max_rounds = std::max<uint64_t>(s.max_rounds, ctrl_.attempts());
+    s.backoff_us = ctrl_.backoff_us_total();
+    if (d == RetryDecision::kGiveUp) return FinishExhausted();
     return StepResult::kNeedsRetry;
   }
 
+  StepResult FinishExhausted() {
+    txn_.RollbackAll();
+    txn_.manager()->FinishAborted(&txn_.inner());
+    ++txn_.stats().exhausted;
+    return StepResult::kExhausted;
+  }
+
+  RetryController ctrl_;
   OmvccTransaction txn_;
   Program program_;
   Timestamp last_commit_ts_ = 0;

@@ -1,9 +1,12 @@
 #ifndef MV3C_SV_SV_EXECUTOR_H_
 #define MV3C_SV_SV_EXECUTOR_H_
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "common/retry_policy.h"
 #include "common/status.h"
 #include "sv/sv_transaction.h"
 
@@ -14,11 +17,19 @@ struct SvStats {
   uint64_t commits = 0;
   uint64_t user_aborts = 0;
   uint64_t validation_failures = 0;  // abort-and-restart rounds
+  uint64_t exhausted = 0;            // gave up after the attempt budget
+  uint64_t backoff_us = 0;           // microseconds slept backing off
+  uint64_t failpoint_trips = 0;      // injected faults observed
+  uint64_t max_rounds = 0;           // most failed rounds in one txn
 
   void Add(const SvStats& o) {
     commits += o.commits;
     user_aborts += o.user_aborts;
     validation_failures += o.validation_failures;
+    exhausted += o.exhausted;
+    backoff_us += o.backoff_us;
+    failpoint_trips += o.failpoint_trips;
+    max_rounds = std::max(max_rounds, o.max_rounds);
   }
 };
 
@@ -26,16 +37,19 @@ struct SvStats {
 /// SILO plug into the same WindowDriver/ThreadDriver as the MVCC engines.
 /// `Engine` provides `bool Commit(sv::SvTransaction&)`; OCC shares one
 /// engine across executors (global validation mutex), SILO takes one per
-/// executor.
+/// executor. The retry policy bounds the abort-and-retry loop — precisely
+/// the livelock regime CCBench shows dominating OCC at high contention.
 template <typename Engine>
 class SvExecutor {
  public:
   using Program = std::function<ExecStatus(sv::SvTransaction&)>;
 
-  explicit SvExecutor(Engine* engine) : engine_(engine) {}
+  explicit SvExecutor(Engine* engine, RetryPolicy policy = {})
+      : engine_(engine), ctrl_(policy) {}
 
   void Reset(Program program) {
     program_ = std::move(program);
+    ctrl_.Reset();
     txn_.Clear();
   }
 
@@ -50,14 +64,32 @@ class SvExecutor {
       return StepResult::kUserAborted;
     }
     MV3C_DCHECK(st == ExecStatus::kOk);
-    if (engine_->Commit(txn_)) {
+    // An injected validation failure must be decided *before* Commit runs:
+    // a successful Commit installs the write set, after which pretending
+    // failure would double-apply the writes on retry.
+    bool injected = false;
+    if (MV3C_FAILPOINT(failpoint::Site::kSvCommitValidate)) {
+      ++stats_.failpoint_trips;
+      injected = true;
+    }
+    if (!injected && engine_->Commit(txn_)) {
       ++stats_.commits;
       return StepResult::kCommitted;
     }
     ++stats_.validation_failures;
+    const RetryDecision d = ctrl_.OnFailure();
+    stats_.max_rounds = std::max<uint64_t>(stats_.max_rounds,
+                                           ctrl_.attempts());
+    stats_.backoff_us = ctrl_.backoff_us_total();
+    if (d == RetryDecision::kGiveUp) {
+      txn_.Clear();
+      ++stats_.exhausted;
+      return StepResult::kExhausted;
+    }
     return StepResult::kNeedsRetry;
   }
 
+  /// Runs the transaction to completion; bounded by the attempt budget.
   StepResult Run(Program program) {
     Reset(std::move(program));
     Begin();
@@ -68,11 +100,22 @@ class SvExecutor {
     return r;
   }
 
+  /// Starvation backstop for drivers: abandons the in-flight transaction.
+  /// Single-version transactions buffer writes locally, so dropping the
+  /// read/write sets is a complete rollback.
+  StepResult GiveUp() {
+    txn_.Clear();
+    ++stats_.exhausted;
+    return StepResult::kExhausted;
+  }
+
   sv::SvTransaction& txn() { return txn_; }
   const SvStats& stats() const { return stats_; }
+  uint32_t attempts() const { return ctrl_.attempts(); }
 
  private:
   Engine* engine_;
+  RetryController ctrl_;
   sv::SvTransaction txn_;
   Program program_;
   SvStats stats_;

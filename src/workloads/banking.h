@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/macros.h"
 #include "common/random.h"
 #include "mv3c/mv3c_executor.h"
 #include "mv3c/mv3c_transaction.h"
@@ -44,13 +45,18 @@ class BankingDb {
         n_accounts_(n_accounts),
         initial_balance_(initial_balance) {}
 
-  /// Seeds the fee account (balance 0) and n customer accounts.
+  /// Seeds the fee account (balance 0) and n customer accounts. The load
+  /// runs serially with no retry loop around it, so a failed insert (only
+  /// possible under fault injection) must abort loudly, never silently
+  /// leave an account without its initial version.
   void Load() {
     Mv3cExecutor loader(mgr_);
     loader.Run([this](Mv3cTransaction& t) {
       for (int64_t id = 0; id <= n_accounts_; ++id) {
-        t.InsertRow(accounts, id,
-                    AccountRow{id == kFeeAccount ? 0 : initial_balance_, 0});
+        const WriteStatus ws = t.InsertRow(
+            accounts, id,
+            AccountRow{id == kFeeAccount ? 0 : initial_balance_, 0});
+        MV3C_CHECK(ws == WriteStatus::kOk);
       }
       return ExecStatus::kOk;
     });

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/cipher.h"
+#include "common/macros.h"
 #include "common/random.h"
 #include "common/zipf.h"
 #include "mv3c/mv3c_executor.h"
@@ -105,8 +106,10 @@ class TradingDb {
       loader.Run([&](Mv3cTransaction& t) {
         const uint64_t end = std::min(n_securities_, base + 4096);
         for (uint64_t s = base; s < end; ++s) {
-          t.InsertRow(securities, s,
-                      SecurityRow{s * 31, 1000 + static_cast<int64_t>(s % 900)});
+          const WriteStatus ws = t.InsertRow(
+              securities, s,
+              SecurityRow{s * 31, 1000 + static_cast<int64_t>(s % 900)});
+          MV3C_CHECK(ws == WriteStatus::kOk);
         }
         return ExecStatus::kOk;
       });
@@ -115,7 +118,9 @@ class TradingDb {
       loader.Run([&](Mv3cTransaction& t) {
         const uint64_t end = std::min(n_customers_, base + 4096);
         for (uint64_t c = base; c < end; ++c) {
-          t.InsertRow(customers, c, CustomerRow{CustomerKeyFor(c)});
+          const WriteStatus ws =
+              t.InsertRow(customers, c, CustomerRow{CustomerKeyFor(c)});
+          MV3C_CHECK(ws == WriteStatus::kOk);
         }
         return ExecStatus::kOk;
       });
