@@ -49,10 +49,33 @@ struct RunResult {
   uint64_t failpoint_trips = 0;  // injected faults observed
   uint64_t conflict_rounds = 0;  // repairs (MV3C) or restarts (others)
   uint64_t ww_restarts = 0;
+  uint64_t versions_discarded = 0;  // versions rolled back/pruned pre-commit
+  // VersionArena counters (zero for SV engines and -DMV3C_ARENA=OFF):
+  // allocator churn reported separately from protocol cost (ISSUE 2).
+  uint64_t arena_slabs_created = 0;
+  uint64_t arena_slabs_retired = 0;
+  uint64_t arena_slabs_recycled = 0;
+  uint64_t arena_bytes_bumped = 0;
+  uint64_t arena_allocations = 0;
+  uint64_t arena_peak_held_bytes = 0;  // peak RSS proxy for version memory
+  uint64_t arena_retirements_deferred = 0;
   double Tps() const {
     return static_cast<double>(committed) / seconds;
   }
 };
+
+/// Copies the manager's arena counters into the run result; call after the
+/// stream finishes and before the manager dies.
+inline void AttachArenaStats(RunResult* out, const TransactionManager& mgr) {
+  const VersionArena::Stats s = mgr.arena().snapshot();
+  out->arena_slabs_created = s.slabs_created;
+  out->arena_slabs_retired = s.slabs_retired;
+  out->arena_slabs_recycled = s.slabs_recycled;
+  out->arena_bytes_bumped = s.bytes_bumped;
+  out->arena_allocations = s.allocations;
+  out->arena_peak_held_bytes = s.peak_held_bytes;
+  out->arena_retirements_deferred = s.retirements_deferred;
+}
 
 template <typename Executor, typename MakeExec, typename MakeProgram>
 RunResult Drive(size_t window, uint64_t n_txns, MakeExec&& make_exec,
@@ -82,6 +105,9 @@ RunResult Drive(size_t window, uint64_t n_txns, MakeExec&& make_exec,
     } else {
       out.conflict_rounds += e->stats().validation_failures;
     }
+    if constexpr (requires { e->stats().versions_discarded; }) {
+      out.versions_discarded += e->stats().versions_discarded;
+    }
   }
   return out;
 }
@@ -103,13 +129,15 @@ inline RunResult RunBankingMv3c(size_t window, const BankingSetup& s) {
   banking::TransferGenerator gen(s.accounts, s.fee_percent, s.seed);
   std::vector<banking::TransferParams> stream(s.n_txns);
   for (auto& p : stream) p = gen.Next();
-  return Drive<Mv3cExecutor>(
+  RunResult r = Drive<Mv3cExecutor>(
       window, s.n_txns,
       [&](...) {
         return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
       },
       [&](uint64_t i) { return banking::Mv3cTransferMoney(db, stream[i]); },
       [&] { mgr.CollectGarbage(); });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 inline RunResult RunBankingOmvcc(size_t window, const BankingSetup& s) {
@@ -119,11 +147,13 @@ inline RunResult RunBankingOmvcc(size_t window, const BankingSetup& s) {
   banking::TransferGenerator gen(s.accounts, s.fee_percent, s.seed);
   std::vector<banking::TransferParams> stream(s.n_txns);
   for (auto& p : stream) p = gen.Next();
-  return Drive<OmvccExecutor>(
+  RunResult r = Drive<OmvccExecutor>(
       window, s.n_txns,
       [&](...) { return std::make_unique<OmvccExecutor>(&mgr); },
       [&](uint64_t i) { return banking::OmvccTransferMoney(db, stream[i]); },
       [&] { mgr.CollectGarbage(); });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 // --- Trading (Figures 6a, 6b) ---
@@ -145,7 +175,7 @@ RunResult RunTradingImpl(size_t window, const TradingSetup& s,
   trading::TradingGenerator gen(db, s.alpha, s.trade_order_percent, s.seed);
   std::vector<trading::TradingGenerator::Txn> stream(s.n_txns);
   for (auto& t : stream) t = gen.Next();
-  return Drive<Executor>(
+  RunResult r = Drive<Executor>(
       window, s.n_txns, make_exec,
       [&, mv3c](uint64_t i) -> typename Executor::Program {
         const auto& txn = stream[i];
@@ -159,6 +189,8 @@ RunResult RunTradingImpl(size_t window, const TradingSetup& s,
         }
       },
       [&] { mgr.CollectGarbage(); });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 inline RunResult RunTradingMv3c(size_t window, const TradingSetup& s) {
@@ -202,7 +234,7 @@ inline RunResult RunTpccMv3c(size_t window, const TpccSetup& s) {
   tpcc::TpccDb db(&mgr, s.scale);
   db.Load(s.seed);
   const auto stream = TpccStream(s);
-  return Drive<Mv3cExecutor>(
+  RunResult r = Drive<Mv3cExecutor>(
       window, s.n_txns,
       [&](...) {
         return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
@@ -212,6 +244,8 @@ inline RunResult RunTpccMv3c(size_t window, const TpccSetup& s) {
         mgr.CollectGarbage();
         db.CleanupNewOrderQueue();
       });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 inline RunResult RunTpccOmvcc(size_t window, const TpccSetup& s) {
@@ -219,7 +253,7 @@ inline RunResult RunTpccOmvcc(size_t window, const TpccSetup& s) {
   tpcc::TpccDb db(&mgr, s.scale);
   db.Load(s.seed);
   const auto stream = TpccStream(s);
-  return Drive<OmvccExecutor>(
+  RunResult r = Drive<OmvccExecutor>(
       window, s.n_txns,
       [&](...) { return std::make_unique<OmvccExecutor>(&mgr); },
       [&](uint64_t i) { return tpcc::OmvccTpccProgram(db, stream[i]); },
@@ -227,6 +261,8 @@ inline RunResult RunTpccOmvcc(size_t window, const TpccSetup& s) {
         mgr.CollectGarbage();
         db.CleanupNewOrderQueue();
       });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 template <typename Engine>
@@ -259,13 +295,15 @@ inline RunResult RunTatpMv3c(size_t window, const TatpSetup& s) {
   tatp::TatpGenerator gen(s.subscribers, s.seed);
   std::vector<tatp::TatpParams> stream(s.n_txns);
   for (auto& p : stream) p = gen.Next();
-  return Drive<Mv3cExecutor>(
+  RunResult r = Drive<Mv3cExecutor>(
       window, s.n_txns,
       [&](...) {
         return std::make_unique<Mv3cExecutor>(&mgr, DefaultMv3cConfig());
       },
       [&](uint64_t i) { return tatp::Mv3cTatpProgram(db, stream[i]); },
       [&] { mgr.CollectGarbage(); });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 inline RunResult RunTatpOmvcc(size_t window, const TatpSetup& s) {
@@ -275,11 +313,13 @@ inline RunResult RunTatpOmvcc(size_t window, const TatpSetup& s) {
   tatp::TatpGenerator gen(s.subscribers, s.seed);
   std::vector<tatp::TatpParams> stream(s.n_txns);
   for (auto& p : stream) p = gen.Next();
-  return Drive<OmvccExecutor>(
+  RunResult r = Drive<OmvccExecutor>(
       window, s.n_txns,
       [&](...) { return std::make_unique<OmvccExecutor>(&mgr); },
       [&](uint64_t i) { return tatp::OmvccTatpProgram(db, stream[i]); },
       [&] { mgr.CollectGarbage(); });
+  AttachArenaStats(&r, mgr);
+  return r;
 }
 
 }  // namespace mv3c::bench

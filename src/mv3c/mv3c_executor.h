@@ -33,6 +33,13 @@ namespace mv3c {
 /// or failpoint injection; kExhausted rolls the transaction back and
 /// removes it from the active table, exactly like a user abort, so the
 /// system stays consistent when a transaction is shed.
+///
+/// Version memory on every path here — repair pruning, restart rollback,
+/// abort, exhaustion — flows back to the manager's VersionArena: unlinked
+/// versions via the GC grace period, never-linked ones (fail-fast push
+/// conflicts) immediately inside Transaction's write primitives. The
+/// executor itself never frees a version (DESIGN §5c); the per-transaction
+/// churn shows up as Mv3cStats::versions_discarded.
 class Mv3cExecutor {
  public:
   using Program = std::function<ExecStatus(Mv3cTransaction&)>;

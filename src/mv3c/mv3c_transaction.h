@@ -36,6 +36,8 @@ struct Mv3cStats {
   uint64_t backoff_us = 0;            // microseconds slept backing off
   uint64_t failpoint_trips = 0;       // injected faults observed
   uint64_t max_rounds = 0;            // most failed rounds in one txn
+  uint64_t versions_discarded = 0;    // versions returned to the arena by
+                                      // rollback/repair before commit
 
   void Add(const Mv3cStats& o) {
     commits += o.commits;
@@ -52,6 +54,7 @@ struct Mv3cStats {
     backoff_us += o.backoff_us;
     failpoint_trips += o.failpoint_trips;
     max_rounds = std::max(max_rounds, o.max_rounds);
+    versions_discarded += o.versions_discarded;
   }
 };
 
@@ -412,13 +415,18 @@ class Mv3cTransaction {
     std::unordered_set<PredicateBase*> removed;
     for (PredicateBase* f : frontier) {
       CollectSubtree(f, &removed);
-      f->ForEachVersion([this](VersionBase* v) { inner_.PruneVersion(v); });
+      f->ForEachVersion([this](VersionBase* v) {
+        ++stats_.versions_discarded;
+        inner_.PruneVersion(v);
+      });
       f->ClearVersions();
     }
     if (!removed.empty()) {
       for (PredicateBase* node : removed) {
-        node->ForEachVersion(
-            [this](VersionBase* v) { inner_.PruneVersion(v); });
+        node->ForEachVersion([this](VersionBase* v) {
+          ++stats_.versions_discarded;
+          inner_.PruneVersion(v);
+        });
         node->ClearVersions();
       }
       table_buckets_dirty_ = true;
@@ -453,8 +461,10 @@ class Mv3cTransaction {
   }
 
   /// Rolls back all writes and destroys the predicate graph (full restart
-  /// or abort path).
+  /// or abort path). The discarded versions go back to the arena via the
+  /// GC's grace period, same as repair-pruned ones.
   void RollbackAll() {
+    stats_.versions_discarded += inner_.undo_buffer().size();
     inner_.RollbackWrites();
     ResetGraph();
   }

@@ -9,6 +9,7 @@
 #include "common/spinlock.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
+#include "mvcc/version_arena.h"
 
 namespace mv3c {
 
@@ -39,14 +40,16 @@ class DataObjectBase {
   DataObjectBase(const DataObjectBase&) = delete;
   DataObjectBase& operator=(const DataObjectBase&) = delete;
 
-  /// Frees the versions still linked in the chain. Retired (unlinked)
-  /// versions are owned by the garbage collector instead, so there is no
-  /// double free. Only runs at table teardown, when no transaction is live.
+  /// Frees the versions still linked in the chain, returning each to its
+  /// arena. Retired (unlinked) versions are owned by the garbage collector
+  /// instead, so there is no double free. Only runs at table teardown, when
+  /// no transaction is live; the arena (owned by the TransactionManager)
+  /// outlives every table.
   virtual ~DataObjectBase() {
     VersionBase* v = head_.load(std::memory_order_relaxed);
     while (v != nullptr) {
       VersionBase* next = v->next();
-      delete v;
+      VersionArena::Destroy(v);
       v = next;
     }
   }

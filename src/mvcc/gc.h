@@ -11,6 +11,7 @@
 #include "common/spinlock.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
+#include "mvcc/version_arena.h"
 
 namespace mv3c {
 
@@ -81,12 +82,15 @@ class GarbageCollector {
     std::lock_guard<SpinLock> g(lock_);
     size_t freed = 0;
     while (!versions_.empty() && versions_.front().era < safe_before) {
-      delete versions_.front().version;
+      // Destructor now, slab memory when the whole slab drains: freeing a
+      // version below the watermark only decrements its slab's live count;
+      // the arena reclaims memory at slab granularity (DESIGN §5c).
+      VersionArena::Destroy(versions_.front().version);
       versions_.pop_front();
       ++freed;
     }
     while (!records_.empty() && records_.front().era < safe_before) {
-      delete records_.front().record;
+      VersionArena::Destroy(records_.front().record);
       records_.pop_front();
       ++freed;
     }

@@ -84,6 +84,14 @@ class Table : public TableBase {
   /// ghost rows from rolled-back inserts).
   size_t ObjectCount() const { return index_.Size(); }
 
+  /// Approximate object-arena footprint (headers/keys only — the versions
+  /// hanging off the chains live in the manager's VersionArena, whose
+  /// held_bytes covers them). Reported by bench/overhead_memory.
+  size_t ApproxObjectBytes() const {
+    std::lock_guard<SpinLock> g(arena_lock_);
+    return arena_.size() * sizeof(Object);
+  }
+
  private:
   Object* Allocate(const K& key) {
     std::lock_guard<SpinLock> g(arena_lock_);
@@ -92,7 +100,7 @@ class Table : public TableBase {
   }
 
   CuckooMap<K, Object*> index_;
-  SpinLock arena_lock_;
+  mutable SpinLock arena_lock_;
   std::deque<Object> arena_;
 };
 

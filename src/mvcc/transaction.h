@@ -13,6 +13,7 @@
 #include "mvcc/table.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
+#include "mvcc/version_arena.h"
 
 namespace mv3c {
 
@@ -65,12 +66,14 @@ class Transaction {
                      bool blind, WwPolicy policy,
                      Version<typename TableT::Row>** out = nullptr) {
     using Row = typename TableT::Row;
-    auto* v = new Version<Row>(&table, obj, txn_id_, new_data);
+    auto* v = arena().Create<Version<Row>>(&table, obj, txn_id_, new_data);
     v->set_modified_columns(modified);
     v->set_blind_write(blind);
     if (obj->Push(v, policy, start_ts_, txn_id_) !=
         DataObjectBase::PushResult::kOk) {
-      delete v;  // never linked, never observed
+      // Never linked, never observed: freed immediately, through the same
+      // arena path as GC-retired versions (no more inline-delete asymmetry).
+      VersionArena::Destroy(v);
       return WriteStatus::kWwConflict;
     }
     RegisterVersion(v);
@@ -92,12 +95,12 @@ class Transaction {
     if (obj->ReadVisible(start_ts_, txn_id_) != nullptr) {
       return WriteStatus::kDuplicateKey;
     }
-    auto* v = new Version<Row>(&table, obj, txn_id_, data);
+    auto* v = arena().Create<Version<Row>>(&table, obj, txn_id_, data);
     v->set_modified_columns(ColumnMask::All());
     v->set_is_insert(true);
     if (obj->Push(v, WwPolicy::kFailFast, start_ts_, txn_id_) !=
         DataObjectBase::PushResult::kOk) {
-      delete v;
+      VersionArena::Destroy(v);  // never linked
       return WriteStatus::kWwConflict;
     }
     RegisterVersion(v);
@@ -115,12 +118,12 @@ class Transaction {
     using Row = typename TableT::Row;
     const Version<Row>* before = obj->ReadVisible(start_ts_, txn_id_);
     MV3C_CHECK(before != nullptr);
-    auto* v = new Version<Row>(&table, obj, txn_id_, before->data());
+    auto* v = arena().Create<Version<Row>>(&table, obj, txn_id_, before->data());
     v->set_modified_columns(ColumnMask::All());
     v->set_tombstone(true);
     if (obj->Push(v, WwPolicy::kFailFast, start_ts_, txn_id_) !=
         DataObjectBase::PushResult::kOk) {
-      delete v;
+      VersionArena::Destroy(v);  // never linked
       return WriteStatus::kWwConflict;
     }
     RegisterVersion(v);
@@ -155,7 +158,7 @@ class Transaction {
   /// from inside the manager's commit critical section.
   CommittedRecord* PublishCommit(Timestamp commit_ts) {
     if (undo_.empty()) return nullptr;
-    auto* rec = new CommittedRecord;
+    auto* rec = arena().Create<CommittedRecord>();
     rec->commit_ts = commit_ts;
     rec->versions.reserve(undo_.size());
     // Per-object union of modified-column masks: the surviving (newest)
@@ -237,6 +240,7 @@ class Transaction {
   // Defined in transaction_manager.h (needs the manager's GC and clock).
   void Retire(VersionBase* v);
   void MaybeTruncateChain(DataObjectBase* obj);
+  VersionArena& arena() const;
 
   TransactionManager* mgr_;
   Timestamp start_ts_ = 0;

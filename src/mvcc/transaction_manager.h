@@ -11,6 +11,7 @@
 #include "mvcc/gc.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/transaction.h"
+#include "mvcc/version_arena.h"
 
 namespace mv3c {
 
@@ -205,6 +206,14 @@ class TransactionManager {
 
   GarbageCollector& gc() { return gc_; }
 
+  /// Version/record memory for every transaction under this manager.
+  /// The arena is the last member destroyed here that touches version
+  /// memory (declared before gc_, destroyed after it), and tables are
+  /// destroyed before their manager throughout the codebase, so every
+  /// Destroy() precedes the slabs' release.
+  VersionArena& arena() { return arena_; }
+  const VersionArena& arena() const { return arena_; }
+
   /// Trims the recently-committed list and frees retired garbage. Called
   /// periodically by execution drivers; rate limiting is the caller's
   /// business.
@@ -212,6 +221,9 @@ class TransactionManager {
     const Timestamp watermark = OldestActiveStart();
     TrimRecentlyCommitted(watermark);
     gc_.Collect(watermark);
+    // Recycle slabs whose retirement a kGcReclaim firing parked; same
+    // drains-once-injection-stops contract as the node-level backlog.
+    arena_.DrainDeferred();
   }
 
   /// Number of records currently reachable in the RC list; metrics/tests.
@@ -287,6 +299,7 @@ class TransactionManager {
   SpinLock commit_lock_;
   std::atomic<uint32_t> slot_hint_{0};
   Slot active_[kMaxActive];
+  VersionArena arena_;  // declared before gc_: slabs outlive GC teardown
   GarbageCollector gc_;
 };
 
@@ -295,6 +308,8 @@ class TransactionManager {
 inline void Transaction::Retire(VersionBase* v) {
   mgr_->gc().RetireVersion(v, mgr_->CurrentEra());
 }
+
+inline VersionArena& Transaction::arena() const { return mgr_->arena(); }
 
 inline void Transaction::MaybeTruncateChain(DataObjectBase* obj) {
   constexpr uint32_t kTruncateThreshold = 48;

@@ -6,6 +6,7 @@
 
 #include "common/column_mask.h"
 #include "mvcc/timestamp.h"
+#include "mvcc/version_arena.h"
 
 namespace mv3c {
 
@@ -155,7 +156,11 @@ class Version : public VersionBase {
   Row* mutable_data() { return &data_; }
 
   VersionBase* Clone() const override {
-    auto* copy = new Version<Row>(table(), object(), ts(), data_);
+    // Sibling allocation: the clone comes from the same arena as the
+    // original, so exclusive-repair/§2.4.1 copies don't bypass the arena
+    // (satellite 2) and Destroy's slab lookup stays valid for every version.
+    auto* copy = VersionArena::CreateSibling<Version<Row>>(
+        this, table(), object(), ts(), data_);
     copy->set_modified_columns(modified_columns());
     copy->set_tombstone(tombstone());
     copy->set_is_insert(is_insert());

@@ -1,0 +1,240 @@
+#include "mvcc/version_arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mv3c {
+
+using arena_internal::kAllocAlign;
+using arena_internal::kSlabBytes;
+using arena_internal::kSlabHeaderBytes;
+using arena_internal::kSlabPayloadBytes;
+using arena_internal::Slab;
+
+namespace {
+
+std::atomic<uint32_t> g_thread_counter{0};
+
+/// Monotonic max for relaxed peak counters.
+void UpdatePeak(std::atomic<uint64_t>& peak, uint64_t value) {
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+uint32_t VersionArena::ThreadSlotIndex() {
+  // Threads are striped over the slots round-robin at first use; a slot is
+  // a bump target plus a spin lock, so two threads sharing a slot is a
+  // throughput matter, never a correctness one.
+  thread_local const uint32_t idx =
+      g_thread_counter.fetch_add(1, std::memory_order_relaxed) % kThreadSlots;
+  return idx;
+}
+
+VersionArena::~VersionArena() {
+  // By construction the arena outlives every table and the GC that allocate
+  // from it (it is destroyed with the TransactionManager, after the tables'
+  // chains and the GC deques have run their destructors), so every object
+  // has been Destroy()ed. Slabs still marked live here indicate a leaked
+  // version; release the memory regardless — ASan's leak checker would
+  // otherwise double-report every payload inside.
+  DrainDeferred();
+  std::lock_guard<SpinLock> g(slabs_lock_);
+  for (Slab* slab : all_) {
+    UnpoisonRange(slab->payload(), slab->capacity);
+    slab->~Slab();
+    ::operator delete(slab, std::align_val_t(kSlabBytes));
+  }
+  all_.clear();
+  freelist_.clear();
+}
+
+Slab* VersionArena::NewSlab(size_t total_bytes, bool oversize) {
+  void* mem = ::operator new(total_bytes, std::align_val_t(kSlabBytes));
+  Slab* slab = new (mem) Slab();
+  slab->owner = this;
+  slab->capacity = static_cast<uint32_t>(total_bytes - kSlabHeaderBytes);
+  slab->oversize = oversize;
+  {
+    std::lock_guard<SpinLock> g(slabs_lock_);
+    all_.push_back(slab);
+  }
+  slabs_created_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t held =
+      held_bytes_.fetch_add(total_bytes, std::memory_order_relaxed) +
+      total_bytes;
+  UpdatePeak(peak_held_bytes_, held);
+  UpdatePeak(peak_slabs_live_, LiveSlabCount());
+  return slab;
+}
+
+uint64_t VersionArena::LiveSlabCount() const {
+  std::lock_guard<SpinLock> g(slabs_lock_);
+  return all_.size();
+}
+
+Slab* VersionArena::TakeSlab() {
+  {
+    std::lock_guard<SpinLock> g(slabs_lock_);
+    if (!freelist_.empty()) {
+      Slab* slab = freelist_.back();
+      freelist_.pop_back();
+      return slab;
+    }
+  }
+  return NewSlab(kSlabBytes, /*oversize=*/false);
+}
+
+void* VersionArena::AllocateRaw(size_t bytes) {
+  const size_t need = (bytes + kAllocAlign - 1) & ~(kAllocAlign - 1);
+  if (MV3C_UNLIKELY(need > kSlabPayloadBytes)) return AllocateOversize(need);
+
+  ThreadSlot& slot = slots_[ThreadSlotIndex()];
+  std::lock_guard<SpinLock> g(slot.lock);
+  Slab* slab = slot.current;
+  if (slab == nullptr || slab->bump + need > slab->capacity) {
+    if (slab != nullptr) SealSlab(slab);
+    slab = TakeSlab();
+    slot.current = slab;
+  }
+  void* p = slab->payload() + slab->bump;
+  slab->bump += static_cast<uint32_t>(need);
+  // seq_cst pairs with the sealed/live protocol in SealSlab/ReleaseObject:
+  // an increment ordered before the seal can never be missed by the
+  // retirement check.
+  slab->live.fetch_add(1, std::memory_order_seq_cst);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  bytes_bumped_.fetch_add(need, std::memory_order_relaxed);
+  return p;
+}
+
+void* VersionArena::AllocateOversize(size_t bytes) {
+  // One dedicated block per over-large object (none of the current version
+  // or record types hits this; rows carried by value could). Born sealed
+  // with live == 1, so the matching Destroy retires it directly.
+  Slab* slab = NewSlab(kSlabHeaderBytes + bytes, /*oversize=*/true);
+  slab->bump = static_cast<uint32_t>(bytes);
+  slab->live.store(1, std::memory_order_relaxed);
+  slab->sealed.store(true, std::memory_order_seq_cst);
+  oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  bytes_bumped_.fetch_add(bytes, std::memory_order_relaxed);
+  return slab->payload();
+}
+
+void VersionArena::SealSlab(Slab* slab) {
+  // seq_cst on both sides closes the race with ReleaseObject: either the
+  // freeing thread sees sealed == true (and retires), or this load sees its
+  // decrement (live == 0, and we retire). Both seeing both is resolved by
+  // the retire_claimed CAS in RetireSlab.
+  slab->sealed.store(true, std::memory_order_seq_cst);
+  if (slab->live.load(std::memory_order_seq_cst) == 0) RetireSlab(slab);
+}
+
+void VersionArena::ReleaseObject(Slab* slab) {
+  VersionArena* owner = slab->owner;
+  owner->frees_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t prev = slab->live.fetch_sub(1, std::memory_order_seq_cst);
+  // A zero live count here means an object in this slab was destroyed
+  // twice; under -DMV3C_SANITIZE=address the poisoned range reports first.
+  MV3C_CHECK(prev != 0 && "version arena double free");
+  if (prev == 1 && slab->sealed.load(std::memory_order_seq_cst)) {
+    RetireSlab(slab);
+  }
+}
+
+void VersionArena::RetireSlab(Slab* slab) {
+  // Seal-time and final-free retirement can race; exactly one proceeds.
+  bool expected = false;
+  if (!slab->retire_claimed.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;
+  }
+  VersionArena* owner = slab->owner;
+  owner->slabs_retired_.fetch_add(1, std::memory_order_relaxed);
+  if (MV3C_FAILPOINT(failpoint::Site::kGcReclaim)) {
+    // Injected lagging collector at slab granularity: park the slab on the
+    // deferred list instead of recycling, stressing the drain paths
+    // (DrainDeferred, the next retirement, teardown).
+    owner->retirements_deferred_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<SpinLock> g(owner->slabs_lock_);
+    owner->deferred_.push_back(slab);
+    return;
+  }
+  std::lock_guard<SpinLock> g(owner->slabs_lock_);
+  owner->RecycleOrFreeLocked(slab);
+  // A retirement doubles as a drain point for previously deferred slabs, so
+  // a chaos schedule cannot strand them until teardown.
+  while (!owner->deferred_.empty()) {
+    Slab* parked = owner->deferred_.back();
+    owner->deferred_.pop_back();
+    owner->RecycleOrFreeLocked(parked);
+  }
+}
+
+void VersionArena::RecycleOrFreeLocked(Slab* slab) {
+  if (!slab->oversize && freelist_.size() < kMaxFreeSlabs) {
+    // Reset to a fresh bump target (the PredicatePool recycling pattern at
+    // slab granularity). The payload is unpoisoned wholesale: placement-new
+    // would otherwise write into ranges poisoned by earlier Destroys.
+    UnpoisonRange(slab->payload(), slab->capacity);
+    slab->bump = 0;
+    slab->live.store(0, std::memory_order_relaxed);
+    slab->sealed.store(false, std::memory_order_relaxed);
+    slab->retire_claimed.store(false, std::memory_order_release);
+    freelist_.push_back(slab);
+    slabs_recycled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FreeSlabLocked(slab);
+}
+
+void VersionArena::FreeSlabLocked(Slab* slab) {
+  all_.erase(std::remove(all_.begin(), all_.end(), slab), all_.end());
+  const uint64_t total = kSlabHeaderBytes + static_cast<uint64_t>(slab->capacity);
+  held_bytes_.fetch_sub(total, std::memory_order_relaxed);
+  slabs_freed_.fetch_add(1, std::memory_order_relaxed);
+  UnpoisonRange(slab->payload(), slab->capacity);
+  slab->~Slab();
+  ::operator delete(slab, std::align_val_t(kSlabBytes));
+}
+
+size_t VersionArena::DrainDeferred() {
+  std::vector<Slab*> parked;
+  {
+    std::lock_guard<SpinLock> g(slabs_lock_);
+    parked.swap(deferred_);
+  }
+  for (Slab* slab : parked) {
+    std::lock_guard<SpinLock> g(slabs_lock_);
+    RecycleOrFreeLocked(slab);
+  }
+  return parked.size();
+}
+
+VersionArena::Stats VersionArena::snapshot() const {
+  Stats s;
+  s.slabs_created = slabs_created_.load(std::memory_order_relaxed);
+  s.peak_slabs_live = peak_slabs_live_.load(std::memory_order_relaxed);
+  s.slabs_retired = slabs_retired_.load(std::memory_order_relaxed);
+  s.slabs_recycled = slabs_recycled_.load(std::memory_order_relaxed);
+  s.slabs_freed = slabs_freed_.load(std::memory_order_relaxed);
+  s.retirements_deferred =
+      retirements_deferred_.load(std::memory_order_relaxed);
+  s.bytes_bumped = bytes_bumped_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
+  s.held_bytes = held_bytes_.load(std::memory_order_relaxed);
+  s.peak_held_bytes = peak_held_bytes_.load(std::memory_order_relaxed);
+  std::lock_guard<SpinLock> g(slabs_lock_);
+  s.slabs_live = all_.size();
+  s.deferred_slabs = deferred_.size();
+  s.freelist_slabs = freelist_.size();
+  return s;
+}
+
+}  // namespace mv3c

@@ -25,6 +25,8 @@ struct OmvccStats {
   uint64_t backoff_us = 0;           // microseconds slept backing off
   uint64_t failpoint_trips = 0;      // injected faults observed
   uint64_t max_rounds = 0;           // most failed rounds in one txn
+  uint64_t versions_discarded = 0;   // versions returned to the arena by
+                                     // restart rollbacks before commit
 
   void Add(const OmvccStats& o) {
     commits += o.commits;
@@ -35,6 +37,7 @@ struct OmvccStats {
     backoff_us += o.backoff_us;
     failpoint_trips += o.failpoint_trips;
     max_rounds = std::max(max_rounds, o.max_rounds);
+    versions_discarded += o.versions_discarded;
   }
 };
 
@@ -190,6 +193,7 @@ class OmvccTransaction {
   bool ReadOnly() const { return inner_.undo_buffer().empty(); }
 
   void RollbackAll() {
+    stats_.versions_discarded += inner_.undo_buffer().size();
     inner_.RollbackWrites();
     ClearPredicates();
   }

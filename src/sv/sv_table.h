@@ -96,6 +96,13 @@ class SvTable {
 
   size_t RecordCount() const { return index_.Size(); }
 
+  /// Approximate record-arena footprint; the single-version counterpart of
+  /// VersionArena's held_bytes, reported by bench/overhead_memory.
+  size_t ApproxArenaBytes() const {
+    std::lock_guard<SpinLock> g(arena_lock_);
+    return arena_.size() * sizeof(Rec);
+  }
+
  private:
   Rec* Allocate() {
     std::lock_guard<SpinLock> g(arena_lock_);
@@ -105,7 +112,7 @@ class SvTable {
 
   std::string name_;
   CuckooMap<K, Rec*> index_;
-  SpinLock arena_lock_;
+  mutable SpinLock arena_lock_;
   std::deque<Rec> arena_;
 };
 

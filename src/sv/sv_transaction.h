@@ -43,11 +43,30 @@ struct SvWrite {
 /// them. Transaction programs are `ExecStatus(SvTransaction&)` callables,
 /// shared verbatim between the two engines.
 ///
+/// Row images are bump-allocated into a per-transaction byte arena that is
+/// reused across transactions — the single-version mirror of the MVCC
+/// VersionArena (DESIGN §5c): the hot path never touches the system
+/// allocator, and Clear() bounds the retained capacity so one oversized
+/// transaction cannot pin memory forever. WriteArenaStats tracks the churn
+/// for the overhead_memory benchmark.
+///
 /// Constraint (holds for all TPC-C programs here): a transaction reads a
 /// record before writing it and writes each record at most once; reads
 /// after writes of the same record are not buffered.
 class SvTransaction {
  public:
+  /// Undo/write-buffer churn counters; mirrors VersionArena::Stats for the
+  /// single-version engines.
+  struct WriteArenaStats {
+    uint64_t bytes_pushed = 0;  // cumulative row-image bytes buffered
+    uint64_t peak_bytes = 0;    // largest single-transaction buffer
+    uint64_t shrinks = 0;       // capacity releases at Clear()
+  };
+
+  /// Retained-capacity bound: a transaction whose write buffer grew past
+  /// this is released back to the allocator at Clear() instead of kept.
+  static constexpr size_t kMaxRetainedArenaBytes = 64 * 1024;
+
   SvTransaction() { arena_.reserve(4096); }
   SvTransaction(const SvTransaction&) = delete;
   SvTransaction& operator=(const SvTransaction&) = delete;
@@ -125,13 +144,20 @@ class SvTransaction {
     return install_hooks_;
   }
   const uint8_t* arena() const { return arena_.data(); }
+  const WriteArenaStats& arena_stats() const { return arena_stats_; }
 
   void Clear() {
     reads_.clear();
     nodes_.clear();
     writes_.clear();
     install_hooks_.clear();
-    arena_.clear();
+    if (arena_.capacity() > kMaxRetainedArenaBytes) {
+      arena_ = {};
+      arena_.reserve(4096);
+      ++arena_stats_.shrinks;
+    } else {
+      arena_.clear();
+    }
   }
 
   /// True if the write entry's record is also in this transaction's write
@@ -148,6 +174,10 @@ class SvTransaction {
     const size_t off = arena_.size();
     arena_.resize(off + n);
     std::memcpy(arena_.data() + off, src, n);
+    arena_stats_.bytes_pushed += n;
+    if (arena_.size() > arena_stats_.peak_bytes) {
+      arena_stats_.peak_bytes = arena_.size();
+    }
     return off;
   }
 
@@ -156,6 +186,7 @@ class SvTransaction {
   std::vector<SvWrite> writes_;
   std::vector<std::function<void()>> install_hooks_;
   std::vector<uint8_t> arena_;
+  WriteArenaStats arena_stats_;
 };
 
 /// Installs the write set at `commit_tid`; every record must be locked (or

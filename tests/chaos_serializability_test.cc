@@ -16,6 +16,7 @@
 
 #include "common/failpoint.h"
 #include "driver/thread_driver.h"
+#include "mvcc/version_arena.h"
 #include "driver/window_driver.h"
 #include "workloads/banking.h"
 #include "workloads/trading.h"
@@ -118,9 +119,13 @@ ChaosOutcome RunBankingChaos(uint64_t seed, uint64_t n_txns, size_t window) {
     EXPECT_LE(out.stats.max_rounds, ChaosConfig().retry.max_attempts);
     // GC invariant: once injection stops, the backlog drains completely
     // (no retired node was lost and none is still considered in use).
+    // Since ISSUE 2 the same invariant covers slab retirement: any slab
+    // parked by a gc-reclaim firing must drain once injection stops.
     mgr.CollectGarbage();
     mgr.gc().CollectAll();
     EXPECT_EQ(mgr.gc().PendingCount(), 0u);
+    mgr.arena().DrainDeferred();
+    EXPECT_EQ(mgr.arena().snapshot().deferred_slabs, 0u);
   }
   return out;
 }
@@ -237,6 +242,8 @@ TEST(ChaosSerializabilityTest, TradingChaosRunRemainsConsistent) {
     mgr.CollectGarbage();
     mgr.gc().CollectAll();
     EXPECT_EQ(mgr.gc().PendingCount(), 0u);
+    mgr.arena().DrainDeferred();
+    EXPECT_EQ(mgr.arena().snapshot().deferred_slabs, 0u);
   }
   fp::Reset(0);
 }
@@ -267,6 +274,49 @@ TEST(ChaosSerializabilityTest, ThreadedChaosConservesMoney) {
     mgr.CollectGarbage();
     mgr.gc().CollectAll();
     EXPECT_EQ(mgr.gc().PendingCount(), 0u);
+    mgr.arena().DrainDeferred();
+    EXPECT_EQ(mgr.arena().snapshot().deferred_slabs, 0u);
+  }
+  fp::Reset(0);
+}
+
+// ISSUE 2 satellite: a seeded run with the gc-reclaim failpoint armed HOT
+// (every reclaim attempt fires) exercises slab retirement under a collector
+// that lags on every pass. Slab retirements fired during the run park on
+// the deferred list; once injection stops, CollectGarbage (which drains the
+// arena) plus CollectAll must leave zero deferred slabs — and money must
+// still be conserved.
+TEST(ChaosSerializabilityTest, SlabRetirementChaosDrainsDeferred) {
+  fp::Reset(/*seed=*/7);
+  constexpr uint64_t kTxns = 4000;
+  {
+    TransactionManager mgr;
+    BankingDb db(&mgr, kAccounts, kInitial);
+    db.Load();
+    const auto stream = MakeStream(kTxns, /*seed=*/99);
+    fp::Config cfg;
+    cfg.probability = 0.5;  // reclaim passes still happen; retirements of
+                            // drained slabs randomly defer
+    fp::Arm(fp::Site::kGcReclaim, cfg);
+    WindowDriver<Mv3cExecutor> driver(
+        8,
+        [&](...) { return std::make_unique<Mv3cExecutor>(&mgr, ChaosConfig()); },
+        [&] { mgr.CollectGarbage(); });
+    const DriveResult r = driver.Run(CountedSource<Mv3cExecutor::Program>(
+        kTxns,
+        [&](uint64_t i) { return banking::Mv3cTransferMoney(db, stream[i]); }));
+    fp::DisarmAll();
+    EXPECT_EQ(r.committed + r.user_aborted + r.exhausted, kTxns);
+    EXPECT_EQ(db.TotalBalance(), kAccounts * kInitial);
+    if (fp::kEnabled && kVersionArenaEnabled) {
+      // The hot schedule must actually have parked slabs at some point.
+      EXPECT_GT(mgr.arena().snapshot().retirements_deferred, 0u);
+    }
+    mgr.CollectGarbage();
+    mgr.gc().CollectAll();
+    EXPECT_EQ(mgr.gc().PendingCount(), 0u);
+    mgr.arena().DrainDeferred();
+    EXPECT_EQ(mgr.arena().snapshot().deferred_slabs, 0u);
   }
   fp::Reset(0);
 }

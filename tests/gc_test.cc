@@ -8,6 +8,7 @@
 #include "mvcc/table.h"
 #include "mvcc/transaction.h"
 #include "mvcc/transaction_manager.h"
+#include "mvcc/version_arena.h"
 
 namespace mv3c {
 namespace {
@@ -143,6 +144,74 @@ TEST_F(GcTest, InlineTruncationBoundsHotChains) {
   // The push path truncates once the approximate length passes the
   // threshold; the chain must stay well below the raw update count.
   EXPECT_LT(obj->ChainLength(), 100u);
+}
+
+TEST_F(GcTest, SlabRetirementAcrossSlabBoundary) {
+  // ISSUE 2 satellite: a single transaction's write burst spans multiple
+  // 64 KiB slabs (a Version<Row> here is ~80 bytes, so ~800 fit per slab);
+  // after rollback and a full grace period, the interior slabs — sealed and
+  // fully drained — must retire, while the still-active bump target stays.
+  const auto before = mgr_.arena().snapshot();
+  constexpr int kRows = 2500;
+  Transaction w(&mgr_);
+  mgr_.Begin(&w);
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_EQ(w.Insert(table_, 1000 + i, Row{i}), WriteStatus::kOk);
+  }
+  if (kVersionArenaEnabled) {
+    EXPECT_GE(mgr_.arena().snapshot().slabs_created,
+              before.slabs_created + 2)
+        << "burst must straddle at least one slab boundary";
+  }
+  w.RollbackWrites();
+  mgr_.FinishAborted(&w);
+  mgr_.CollectGarbage();
+  mgr_.CollectGarbage();  // second pass frees what the first retired
+  EXPECT_EQ(mgr_.gc().PendingCount(), 0u);
+  if (kVersionArenaEnabled) {
+    const auto after = mgr_.arena().snapshot();
+    EXPECT_GE(after.frees, before.frees + kRows);
+    EXPECT_GE(after.slabs_retired, before.slabs_retired + 1);
+    EXPECT_EQ(after.deferred_slabs, 0u);
+  }
+}
+
+TEST_F(GcTest, LongRunningReaderPinsSlabRetirement) {
+  // ISSUE 2 satellite: the epoch watermark is the reclamation contract.
+  // While a reader that started before a write burst's rollback is active,
+  // no version from that burst may be freed — and therefore no slab it
+  // occupies may retire. Once the reader finishes, the backlog drains and
+  // the sealed slabs retire.
+  SeedAndCommit(1, 0);
+  Transaction reader(&mgr_);
+  mgr_.Begin(&reader);
+  const auto before = mgr_.arena().snapshot();
+  constexpr int kRows = 3000;
+  Transaction w(&mgr_);
+  mgr_.Begin(&w);
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_EQ(w.Insert(table_, 2000 + i, Row{i}), WriteStatus::kOk);
+  }
+  w.RollbackWrites();
+  mgr_.FinishAborted(&w);
+  mgr_.CollectGarbage();
+  mgr_.CollectGarbage();
+  EXPECT_GE(mgr_.gc().PendingCount(), static_cast<size_t>(kRows));
+  if (kVersionArenaEnabled) {
+    const auto mid = mgr_.arena().snapshot();
+    EXPECT_EQ(mid.frees, before.frees) << "reader must pin every version";
+    EXPECT_EQ(mid.slabs_retired, before.slabs_retired)
+        << "pinned versions must pin their slabs";
+  }
+  mgr_.CommitReadOnly(&reader);
+  mgr_.CollectGarbage();
+  mgr_.CollectGarbage();  // second pass frees what the first retired
+  EXPECT_EQ(mgr_.gc().PendingCount(), 0u);
+  if (kVersionArenaEnabled) {
+    const auto after = mgr_.arena().snapshot();
+    EXPECT_GE(after.frees, before.frees + kRows);
+    EXPECT_GE(after.slabs_retired, before.slabs_retired + 1);
+  }
 }
 
 TEST_F(GcTest, CollectAllOnQuiescentSystemFreesEverything) {
