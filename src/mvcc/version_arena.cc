@@ -35,14 +35,36 @@ uint32_t VersionArena::ThreadSlotIndex() {
 }
 
 VersionArena::~VersionArena() {
+  // Seal every slot's bump target, dropping its creation reference: an
+  // already-drained current slab retires here, and any slab still holding
+  // live objects is left with live == exactly its leak count.
+  for (ThreadSlot& slot : slots_) {
+    std::lock_guard<SpinLock> g(slot.lock);
+    if (slot.current != nullptr) {
+      SealSlab(slot.current);
+      slot.current = nullptr;
+    }
+  }
+  DrainDeferred();
+  std::lock_guard<SpinLock> g(slabs_lock_);
   // By construction the arena outlives every table and the GC that allocate
   // from it (it is destroyed with the TransactionManager, after the tables'
   // chains and the GC deques have run their destructors), so every object
-  // has been Destroy()ed. Slabs still marked live here indicate a leaked
-  // version; release the memory regardless — ASan's leak checker would
-  // otherwise double-report every payload inside.
-  DrainDeferred();
-  std::lock_guard<SpinLock> g(slabs_lock_);
+  // must have been Destroy()ed by now. An ordering violation — a table or
+  // GC deque outliving its manager — would later dereference the freed
+  // slab headers released below; fail loudly here instead of as a silent
+  // use-after-free: log always, abort in debug builds.
+  uint64_t leaked = 0;
+  for (Slab* slab : all_) leaked += slab->live.load(std::memory_order_relaxed);
+  if (MV3C_UNLIKELY(leaked != 0)) {
+    std::fprintf(stderr,
+                 "VersionArena: %llu object(s) leaked at arena destruction; "
+                 "a table or the GC outlived its TransactionManager?\n",
+                 static_cast<unsigned long long>(leaked));
+    MV3C_DCHECK(leaked == 0 && "versions leaked past arena destruction");
+  }
+  // Release the memory regardless — ASan's leak checker would otherwise
+  // double-report every payload inside.
   for (Slab* slab : all_) {
     UnpoisonRange(slab->payload(), slab->capacity);
     slab->~Slab();
@@ -77,15 +99,30 @@ uint64_t VersionArena::LiveSlabCount() const {
 }
 
 Slab* VersionArena::TakeSlab() {
+  Slab* slab = nullptr;
   {
     std::lock_guard<SpinLock> g(slabs_lock_);
     if (!freelist_.empty()) {
-      Slab* slab = freelist_.back();
+      slab = freelist_.back();
       freelist_.pop_back();
-      return slab;
     }
   }
-  return NewSlab(kSlabBytes, /*oversize=*/false);
+  if (slab == nullptr) slab = NewSlab(kSlabBytes, /*oversize=*/false);
+  // Hand-over to the new owner: freelisted slabs keep their retired state
+  // (sealed, live == 0, payload poisoned) until this point, so a stale
+  // pointer into a recycled slab keeps reporting under ASan for as long as
+  // possible, and no retired-state reset can race a retirement — by the
+  // time a slab reaches the freelist its unique retirer has already run.
+  UnpoisonRange(slab->payload(), slab->capacity);
+  slab->bump = 0;
+  slab->sealed.store(false, std::memory_order_relaxed);
+  // The creation reference: keeps live >= 1 until SealSlab drops it, so no
+  // object free can observe the 1->0 transition while the slab is a bump
+  // target. Relaxed suffices — every other thread that touches this slab
+  // first receives one of its objects through an acquire edge (chain
+  // publication) ordered after these stores.
+  slab->live.store(1, std::memory_order_relaxed);
+  return slab;
 }
 
 void* VersionArena::AllocateRaw(size_t bytes) {
@@ -102,10 +139,10 @@ void* VersionArena::AllocateRaw(size_t bytes) {
   }
   void* p = slab->payload() + slab->bump;
   slab->bump += static_cast<uint32_t>(need);
-  // seq_cst pairs with the sealed/live protocol in SealSlab/ReleaseObject:
-  // an increment ordered before the seal can never be missed by the
-  // retirement check.
-  slab->live.fetch_add(1, std::memory_order_seq_cst);
+  // Relaxed is enough: the creation reference pins live >= 1 for the whole
+  // time this slab is a bump target, so this increment can never race the
+  // 1->0 retirement transition.
+  slab->live.fetch_add(1, std::memory_order_relaxed);
   allocations_.fetch_add(1, std::memory_order_relaxed);
   bytes_bumped_.fetch_add(need, std::memory_order_relaxed);
   return p;
@@ -114,11 +151,15 @@ void* VersionArena::AllocateRaw(size_t bytes) {
 void* VersionArena::AllocateOversize(size_t bytes) {
   // One dedicated block per over-large object (none of the current version
   // or record types hits this; rows carried by value could). Born sealed
-  // with live == 1, so the matching Destroy retires it directly.
+  // with live == 1 — the object's own reference, the creation reference
+  // conceptually already dropped — so the matching Destroy observes 1->0
+  // and retires it directly. Relaxed stores are safe: the destroying
+  // thread can only reach this slab via the returned pointer, which is
+  // ordered after them.
   Slab* slab = NewSlab(kSlabHeaderBytes + bytes, /*oversize=*/true);
   slab->bump = static_cast<uint32_t>(bytes);
   slab->live.store(1, std::memory_order_relaxed);
-  slab->sealed.store(true, std::memory_order_seq_cst);
+  slab->sealed.store(true, std::memory_order_relaxed);
   oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
   allocations_.fetch_add(1, std::memory_order_relaxed);
   bytes_bumped_.fetch_add(bytes, std::memory_order_relaxed);
@@ -126,33 +167,42 @@ void* VersionArena::AllocateOversize(size_t bytes) {
 }
 
 void VersionArena::SealSlab(Slab* slab) {
-  // seq_cst on both sides closes the race with ReleaseObject: either the
-  // freeing thread sees sealed == true (and retires), or this load sees its
-  // decrement (live == 0, and we retire). Both seeing both is resolved by
-  // the retire_claimed CAS in RetireSlab.
-  slab->sealed.store(true, std::memory_order_seq_cst);
-  if (slab->live.load(std::memory_order_seq_cst) == 0) RetireSlab(slab);
+  // The flag is ordered before the creation-reference drop below, so any
+  // thread that later observes live == 1 -> 0 (through the fetch_sub RMW
+  // chain) also sees sealed == true.
+  slab->sealed.store(true, std::memory_order_relaxed);
+  // Drop the creation reference through the same fetch_sub path as object
+  // frees: live reaches zero exactly once, the unique observer of the
+  // 1->0 transition retires, and no second retirer exists that a recycle
+  // could race (the REVIEW.md duplicate-retirement hazard).
+  const uint32_t prev = slab->live.fetch_sub(1, std::memory_order_acq_rel);
+  MV3C_CHECK(prev != 0 && "slab sealed without a creation reference");
+  if (prev == 1) RetireSlab(slab);
 }
 
 void VersionArena::ReleaseObject(Slab* slab) {
   VersionArena* owner = slab->owner;
   owner->frees_.fetch_add(1, std::memory_order_relaxed);
-  const uint32_t prev = slab->live.fetch_sub(1, std::memory_order_seq_cst);
+  // acq_rel: the release half publishes this thread's destructor writes;
+  // the acquire half (effective for the 1->0 observer) pulls in every
+  // other freeing thread's writes before the slab is recycled.
+  const uint32_t prev = slab->live.fetch_sub(1, std::memory_order_acq_rel);
   // A zero live count here means an object in this slab was destroyed
   // twice; under -DMV3C_SANITIZE=address the poisoned range reports first.
   MV3C_CHECK(prev != 0 && "version arena double free");
-  if (prev == 1 && slab->sealed.load(std::memory_order_seq_cst)) {
+  if (prev == 1) {
+    // live can only reach zero after SealSlab dropped the creation
+    // reference (whose sealed store the RMW chain makes visible here); an
+    // unsealed slab means a double free consumed that reference.
+    MV3C_CHECK(slab->sealed.load(std::memory_order_relaxed) &&
+               "free on an active slab dropped its creation reference");
     RetireSlab(slab);
   }
 }
 
 void VersionArena::RetireSlab(Slab* slab) {
-  // Seal-time and final-free retirement can race; exactly one proceeds.
-  bool expected = false;
-  if (!slab->retire_claimed.compare_exchange_strong(
-          expected, true, std::memory_order_acq_rel)) {
-    return;
-  }
+  // Called exactly once per slab lifetime: only by the unique observer of
+  // live's 1->0 transition (see SealSlab/ReleaseObject).
   VersionArena* owner = slab->owner;
   owner->slabs_retired_.fetch_add(1, std::memory_order_relaxed);
   if (MV3C_FAILPOINT(failpoint::Site::kGcReclaim)) {
@@ -177,14 +227,12 @@ void VersionArena::RetireSlab(Slab* slab) {
 
 void VersionArena::RecycleOrFreeLocked(Slab* slab) {
   if (!slab->oversize && freelist_.size() < kMaxFreeSlabs) {
-    // Reset to a fresh bump target (the PredicatePool recycling pattern at
-    // slab granularity). The payload is unpoisoned wholesale: placement-new
-    // would otherwise write into ranges poisoned by earlier Destroys.
-    UnpoisonRange(slab->payload(), slab->capacity);
-    slab->bump = 0;
-    slab->live.store(0, std::memory_order_relaxed);
-    slab->sealed.store(false, std::memory_order_relaxed);
-    slab->retire_claimed.store(false, std::memory_order_release);
+    // The slab parks in its retired state (sealed, live == 0, payload
+    // still poisoned) — deliberately NOT reset here. TakeSlab resets it at
+    // hand-over to the next owner, so recycling never rewinds state that a
+    // concurrent retirement path could still act on, and stale pointers
+    // into the slab keep reporting under ASan while it waits for reuse
+    // (the PredicatePool recycling pattern at slab granularity).
     freelist_.push_back(slab);
     slabs_recycled_.fetch_add(1, std::memory_order_relaxed);
     return;

@@ -60,14 +60,21 @@ inline constexpr size_t kSlabPayloadBytes = kSlabBytes - kSlabHeaderBytes;
 /// recycled onto the owner's bounded freelist, or released to the system.
 /// `bump` is guarded by the owning thread-slot lock; `live`/`sealed` are
 /// touched concurrently by whoever frees (GC, commit section, teardown).
+///
+/// `live` is a reference count, not a bare object count: while the slab is
+/// a bump target it additionally holds one *creation reference* (taken in
+/// TakeSlab, dropped by SealSlab through the same fetch_sub as object
+/// frees). live therefore cannot reach zero before the seal, exactly one
+/// thread ever observes the 1->0 transition, and retirement is
+/// exactly-once by construction — no claim flag whose reset could race a
+/// delayed retirer against recycling.
 struct alignas(kSlabHeaderBytes) Slab {
   VersionArena* owner = nullptr;
   uint32_t capacity = 0;  // usable payload bytes
   uint32_t bump = 0;      // next free payload offset (slot-lock guarded)
   bool oversize = false;  // dedicated block for one over-large object
-  std::atomic<uint32_t> live{0};      // allocated minus freed objects
-  std::atomic<bool> sealed{false};    // no longer a bump target
-  std::atomic<bool> retire_claimed{false};  // single-retirement CAS guard
+  std::atomic<uint32_t> live{0};    // creation reference + live objects
+  std::atomic<bool> sealed{false};  // no longer a bump target
 
   uint8_t* payload() {
     return reinterpret_cast<uint8_t*>(this) + kSlabHeaderBytes;
@@ -155,16 +162,26 @@ class VersionArena {
 
   /// Destroys an arena-created object: runs the destructor (virtual
   /// dispatch frees typed payloads through base pointers), poisons the
-  /// range under ASan, and drops the slab's live count — retiring the slab
-  /// when it was the last object. Safe to call from any thread; the epoch
-  /// watermark is the caller's contract (see class comment).
+  /// full allocation under ASan, and drops the slab's live count — retiring
+  /// the slab when it was the last object. Safe to call from any thread;
+  /// the epoch watermark is the caller's contract (see class comment).
+  ///
+  /// Types destroyed through a base pointer must expose the most-derived
+  /// extent via `size_t AllocSize() const` (see VersionBase::AllocSize):
+  /// sizeof(T) would cover only the base subobject, leaving the row payload
+  /// unpoisoned and use-after-reclaim on it invisible to ASan.
   template <typename T>
   static void Destroy(T* p) {
     if (p == nullptr) return;
     if constexpr (kVersionArenaEnabled) {
       arena_internal::Slab* slab = arena_internal::Slab::Of(p);
+#if defined(MV3C_ARENA_ASAN)
+      const size_t extent = ExtentOf(*p);  // virtual; before the dtor runs
       p->~T();
-      PoisonRange(p, sizeof(T));
+      PoisonRange(p, extent);
+#else
+      p->~T();
+#endif
       ReleaseObject(slab);
     } else {
       delete p;
@@ -200,6 +217,18 @@ class VersionArena {
     SpinLock lock;
     arena_internal::Slab* current = nullptr;
   };
+
+  /// Allocated extent of an object: the most-derived size when the type
+  /// reports it (polymorphic types reached through base pointers), its
+  /// static size otherwise (concrete types like CommittedRecord).
+  template <typename T>
+  static size_t ExtentOf(const T& obj) {
+    if constexpr (requires { obj.AllocSize(); }) {
+      return obj.AllocSize();
+    } else {
+      return sizeof(T);
+    }
+  }
 
   static void PoisonRange(void* p, size_t n) {
 #if defined(MV3C_ARENA_ASAN)

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "mvcc/version.h"
 #include "mvcc/version_arena.h"
 
 namespace mv3c {
@@ -116,11 +117,11 @@ TEST_F(VersionArenaTest, FreelistIsBounded) {
       per_slab[i].push_back(arena.Create<PackedObj>());
     }
   }
-  arena.Create<PackedObj>();  // seals the last full slab (leaked on purpose
-                              // into the arena; the dtor reclaims it)
+  PackedObj* sentinel = arena.Create<PackedObj>();  // seals the last full slab
   for (auto& objs : per_slab) {
     for (PackedObj* p : objs) VersionArena::Destroy(p);
   }
+  VersionArena::Destroy(sentinel);
   const VersionArena::Stats s = arena.snapshot();
   EXPECT_EQ(s.slabs_retired, kSlabs);
   EXPECT_LE(s.freelist_slabs, VersionArena::kMaxFreeSlabs);
@@ -187,12 +188,35 @@ TEST_F(VersionArenaTest, FailpointDefersRetirementUntilDrain) {
   fp::Reset(0);
 }
 
+TEST_F(VersionArenaTest, SealRetiresAnAlreadyDrainedSlab) {
+  VersionArena arena;
+  // Fill slab 1 exactly and destroy everything while it is still the bump
+  // target: the creation reference keeps it alive (live == 1), so nothing
+  // retires yet. The next allocation seals it, drops that reference, and
+  // the seal path itself must observe 1 -> 0 and retire the slab.
+  std::vector<PackedObj*> objs;
+  for (size_t i = 0; i < kPerSlab; ++i) objs.push_back(arena.Create<PackedObj>());
+  for (PackedObj* p : objs) VersionArena::Destroy(p);
+  VersionArena::Stats s = arena.snapshot();
+  EXPECT_EQ(s.slabs_retired, 0u) << "creation reference must pin the slab";
+  PackedObj* extra = arena.Create<PackedObj>();  // rolls over, seals slab 1
+  s = arena.snapshot();
+  EXPECT_EQ(s.slabs_retired, 1u);
+  EXPECT_EQ(s.slabs_recycled, 1u);
+  // The roll-over seals before taking a slab, so the retired slab recycles
+  // straight back into the same slot — no second slab is ever created.
+  EXPECT_EQ(s.freelist_slabs, 0u);
+  EXPECT_EQ(s.slabs_created, 1u);
+  VersionArena::Destroy(extra);
+}
+
 using VersionArenaDeathTest = VersionArenaTest;
 
 TEST_F(VersionArenaDeathTest, DoubleFreeIsCaught) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   // Under -DMV3C_SANITIZE=address the poisoned range reports first; without
-  // it, the live-counter underflow MV3C_CHECK aborts. Either way: death.
+  // it, the second free drops the slab's creation reference and the
+  // MV3C_CHECK in ReleaseObject aborts. Either way: death.
   EXPECT_DEATH(
       {
         VersionArena arena;
@@ -202,6 +226,46 @@ TEST_F(VersionArenaDeathTest, DoubleFreeIsCaught) {
       },
       "");
 }
+
+#if defined(MV3C_ARENA_ASAN)
+// 256-byte row: the payload extends far past the VersionBase subobject.
+struct WideRow {
+  uint64_t cells[32] = {0};
+};
+
+TEST_F(VersionArenaDeathTest, DestroyThroughBasePointerPoisonsFullPayload) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Destroy is reached via VersionBase* (GC, chain teardown); the poisoned
+  // extent must be the most-derived AllocSize(), not sizeof(VersionBase),
+  // or a use-after-reclaim on the row payload escapes ASan.
+  EXPECT_DEATH(
+      {
+        VersionArena arena;
+        auto* v = arena.Create<Version<WideRow>>(
+            /*table=*/nullptr, /*object=*/nullptr, Timestamp{1}, WideRow{});
+        const uint64_t* payload = &v->data().cells[31];
+        VersionArena::Destroy(static_cast<VersionBase*>(v));
+        volatile uint64_t sink = *payload;
+        (void)sink;
+      },
+      "use-after-poison");
+}
+#endif
+
+#ifndef NDEBUG
+TEST_F(VersionArenaDeathTest, LeakAtDestructionAbortsInDebug) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A version outliving the arena means a table or the GC outlived the
+  // TransactionManager; the destructor logs the leak count in every build
+  // and aborts under !NDEBUG instead of leaving a silent use-after-free.
+  EXPECT_DEATH(
+      {
+        VersionArena arena;
+        arena.Create<PackedObj>();  // never destroyed
+      },
+      "leaked at arena destruction");
+}
+#endif
 
 }  // namespace
 }  // namespace mv3c
