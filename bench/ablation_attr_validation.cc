@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace mv3c;
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   TpccSetup s;
   s.scale.n_warehouses = 1;
@@ -29,8 +30,13 @@ int main(int argc, char** argv) {
     const RunResult m = RunTpccMv3c(16, s);
     const RunResult o = RunTpccOmvcc(16, s);
     table.Row({enabled ? "on" : "off", Fmt(m.Tps(), 0),
-               Fmt(m.conflict_rounds), Fmt(o.Tps(), 0),
-               Fmt(o.conflict_rounds + o.ww_restarts)});
+               Fmt(m.Counter("repair_rounds")), Fmt(o.Tps(), 0),
+               Fmt(o.Counter("validation_failures") +
+                   o.Counter("ww_restarts"))});
+    EmitRunJson("ablation_attr_validation",
+                enabled ? "mv3c-attr-on" : "mv3c-attr-off", 16, m);
+    EmitRunJson("ablation_attr_validation",
+                enabled ? "omvcc-attr-on" : "omvcc-attr-off", 16, o);
   }
   g_attribute_level_validation.store(true);
   return 0;

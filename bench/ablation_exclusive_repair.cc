@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace mv3c;
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   const int64_t accounts = full ? 100000 : 10000;
   const uint64_t n_txns = full ? 1000000 : 60000;
@@ -31,11 +32,10 @@ int main(int argc, char** argv) {
     WindowDriver<Mv3cExecutor> driver(
         32, [&](...) { return std::make_unique<Mv3cExecutor>(&mgr, cfg); },
         [&] { mgr.CollectGarbage(); });
-    Timer timer;
     const DriveResult r = driver.Run(CountedSource<Mv3cExecutor::Program>(
         n_txns,
         [&](uint64_t i) { return banking::Mv3cTransferMoney(db, stream[i]); }));
-    const double seconds = timer.Seconds();
+    const double seconds = r.seconds;  // timed by the driver itself
     for (Mv3cExecutor* e : driver.executors()) {
       exclusive += e->stats().exclusive_repairs;
       repairs += e->stats().repair_rounds;

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace mv3c;
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   const int64_t accounts = full ? 200000 : 30000;
   const uint64_t n_rounds = full ? 200 : 40;

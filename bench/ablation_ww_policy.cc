@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace mv3c;
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   const int64_t accounts = full ? 100000 : 10000;
   const uint64_t n_txns = full ? 1000000 : 60000;
@@ -35,7 +36,12 @@ int main(int argc, char** argv) {
       table.Row({policy == WwPolicy::kAllowMultiple ? "allow-multiple"
                                                     : "fail-fast",
                  Fmt(static_cast<uint64_t>(window)), Fmt(r.Tps(), 0),
-                 Fmt(r.conflict_rounds), Fmt(r.ww_restarts)});
+                 Fmt(r.Counter("repair_rounds")),
+                 Fmt(r.Counter("ww_restarts"))});
+      EmitRunJson("ablation_ww_policy",
+                  policy == WwPolicy::kAllowMultiple ? "mv3c-allow-multiple"
+                                                     : "mv3c-fail-fast",
+                  window, r);
     }
   }
   return 0;

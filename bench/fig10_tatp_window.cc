@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   TatpSetup s;
   // Paper: scale factor 1 = 1M subscribers, 10M transactions.
@@ -25,8 +26,11 @@ int main(int argc, char** argv) {
     const RunResult o = RunTatpOmvcc(window, s);
     table.Row({Fmt(static_cast<uint64_t>(window)), Fmt(m.Tps(), 0),
                Fmt(o.Tps(), 0), Fmt(m.Tps() / o.Tps(), 2),
-               Fmt(m.conflict_rounds + m.ww_restarts),
-               Fmt(o.conflict_rounds + o.ww_restarts)});
+               Fmt(m.Counter("repair_rounds") + m.Counter("ww_restarts")),
+               Fmt(o.Counter("validation_failures") +
+                   o.Counter("ww_restarts"))});
+    EmitRunJson("fig10", "mv3c", window, m);
+    EmitRunJson("fig10", "omvcc", window, o);
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   TpccSetup s;
   s.scale.n_warehouses = 1;
@@ -27,8 +28,11 @@ int main(int argc, char** argv) {
     const RunResult o = RunTpccOmvcc(window, s);
     table.Row({Fmt(static_cast<uint64_t>(window)), Fmt(m.Tps(), 0),
                Fmt(o.Tps(), 0), Fmt(m.Tps() / o.Tps(), 2),
-               Fmt(m.conflict_rounds),
-               Fmt(o.conflict_rounds + o.ww_restarts)});
+               Fmt(m.Counter("repair_rounds")),
+               Fmt(o.Counter("validation_failures") +
+                   o.Counter("ww_restarts"))});
+    EmitRunJson("fig11", "mv3c", window, m);
+    EmitRunJson("fig11", "omvcc", window, o);
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   TradingSetup s;
   s.securities = full ? 100000 : 10000;
@@ -28,8 +29,11 @@ int main(int argc, char** argv) {
     const RunResult o = RunTradingOmvcc(window, s);
     table.Row({Fmt(static_cast<uint64_t>(window)), Fmt(m.Tps(), 0),
                Fmt(o.Tps(), 0), Fmt(m.Tps() / o.Tps(), 2),
-               Fmt(m.conflict_rounds),
-               Fmt(o.conflict_rounds + o.ww_restarts)});
+               Fmt(m.Counter("repair_rounds")),
+               Fmt(o.Counter("validation_failures") +
+                   o.Counter("ww_restarts"))});
+    EmitRunJson("fig6a", "mv3c", window, m);
+    EmitRunJson("fig6a", "omvcc", window, o);
   }
   return 0;
 }

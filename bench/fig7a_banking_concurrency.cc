@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   BankingSetup s;
   s.accounts = full ? 100000 : 10000;
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
     table.Row({Fmt(static_cast<uint64_t>(window)), Fmt(m.seconds, 2),
                Fmt(o.seconds, 2), Fmt(m.Tps(), 0), Fmt(o.Tps(), 0),
                Fmt(m.Tps() / o.Tps(), 2)});
+    EmitRunJson("fig7a", "mv3c", window, m);
+    EmitRunJson("fig7a", "omvcc", window, o);
   }
   return 0;
 }

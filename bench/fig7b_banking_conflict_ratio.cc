@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   BankingSetup s;
   s.accounts = full ? 100000 : 10000;
@@ -24,8 +25,11 @@ int main(int argc, char** argv) {
     const RunResult o = RunBankingOmvcc(10, s);
     table.Row({Fmt(static_cast<uint64_t>(pct)), Fmt(m.Tps(), 0),
                Fmt(o.Tps(), 0), Fmt(m.Tps() / o.Tps(), 2),
-               Fmt(m.conflict_rounds),
-               Fmt(o.conflict_rounds + o.ww_restarts)});
+               Fmt(m.Counter("repair_rounds")),
+               Fmt(o.Counter("validation_failures") +
+                   o.Counter("ww_restarts"))});
+    EmitRunJson("fig7b", "mv3c", 10, m);
+    EmitRunJson("fig7b", "omvcc", 10, o);
   }
   return 0;
 }

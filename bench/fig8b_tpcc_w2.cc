@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace mv3c;
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   TpccSetup s;
   s.scale.n_warehouses = 2;
@@ -30,6 +31,10 @@ int main(int argc, char** argv) {
     table.Row({Fmt(static_cast<uint64_t>(window)), Fmt(m.Tps(), 0),
                Fmt(o.Tps(), 0), Fmt(occ.Tps(), 0), Fmt(silo.Tps(), 0),
                Fmt(m.Tps() / o.Tps(), 2)});
+    EmitRunJson("fig8b", "mv3c", window, m);
+    EmitRunJson("fig8b", "omvcc", window, o);
+    EmitRunJson("fig8b", "occ", window, occ);
+    EmitRunJson("fig8b", "silo", window, silo);
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   using namespace mv3c;
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
   TpccSetup s;
   if (!full) {
@@ -29,6 +30,10 @@ int main(int argc, char** argv) {
     const RunResult silo = RunTpccSv<SiloEngine>(10, s);
     table.Row({Fmt(w), Fmt(m.Tps(), 0), Fmt(o.Tps(), 0), Fmt(occ.Tps(), 0),
                Fmt(silo.Tps(), 0), Fmt(m.Tps() / o.Tps(), 2)});
+    EmitRunJson("fig8c", "mv3c", 10, m);
+    EmitRunJson("fig8c", "omvcc", 10, o);
+    EmitRunJson("fig8c", "occ", 10, occ);
+    EmitRunJson("fig8c", "silo", 10, silo);
   }
   return 0;
 }

@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace mv3c::bench;
+  TraceSession trace;
   const bool full = FullRun(argc, argv);
 
   std::printf("# §6.2: MV3C overhead vs OMVCC in conflict-free execution\n");
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
     const RunResult o = RunBankingOmvcc(1, s);
     table.Row({"banking-serial", Fmt(m.Tps(), 0), Fmt(o.Tps(), 0),
                Fmt((o.Tps() / m.Tps() - 1.0) * 100.0, 2)});
+    EmitRunJson("overhead_time_banking_serial", "mv3c", 1, m);
+    EmitRunJson("overhead_time_banking_serial", "omvcc", 1, o);
   }
   {
     BankingSetup s;
@@ -33,6 +36,8 @@ int main(int argc, char** argv) {
     const RunResult o = RunBankingOmvcc(10, s);
     table.Row({"banking-nocf-w10", Fmt(m.Tps(), 0), Fmt(o.Tps(), 0),
                Fmt((o.Tps() / m.Tps() - 1.0) * 100.0, 2)});
+    EmitRunJson("overhead_time_banking_nocf", "mv3c", 10, m);
+    EmitRunJson("overhead_time_banking_nocf", "omvcc", 10, o);
   }
   {
     TradingSetup s;
@@ -44,6 +49,8 @@ int main(int argc, char** argv) {
     const RunResult o = RunTradingOmvcc(1, s);
     table.Row({"trading-serial", Fmt(m.Tps(), 0), Fmt(o.Tps(), 0),
                Fmt((o.Tps() / m.Tps() - 1.0) * 100.0, 2)});
+    EmitRunJson("overhead_time_trading_serial", "mv3c", 1, m);
+    EmitRunJson("overhead_time_trading_serial", "omvcc", 1, o);
   }
   return 0;
 }

@@ -9,10 +9,13 @@
 
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "driver/window_driver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "occ/occ_engine.h"
 #include "silo/silo_engine.h"
 #include "sv/sv_executor.h"
@@ -42,14 +45,16 @@ struct RunResult {
   double seconds = 0;
   uint64_t committed = 0;
   uint64_t user_aborted = 0;
-  uint64_t exhausted = 0;        // gave up after the retry budget
-  uint64_t escalations = 0;      // failed rounds re-entering the window
-  uint64_t max_rounds = 0;       // most rounds any one transaction took
-  uint64_t backoff_us = 0;       // microseconds slept backing off
-  uint64_t failpoint_trips = 0;  // injected faults observed
-  uint64_t conflict_rounds = 0;  // repairs (MV3C) or restarts (others)
-  uint64_t ww_restarts = 0;
-  uint64_t versions_discarded = 0;  // versions rolled back/pruned pre-commit
+  uint64_t exhausted = 0;    // gave up after the retry budget
+  uint64_t escalations = 0;  // failed rounds re-entering the window
+  uint64_t max_rounds = 0;   // most rounds any one transaction took
+  /// Merged engine/manager metrics: every native counter under its own
+  /// name (repair_rounds, ww_restarts, validation_failures, backoff_us,
+  /// ...) plus the per-phase latency histograms. The old RunResult fields
+  /// that *remapped* counters (e.g. "conflict_rounds" meaning repairs for
+  /// MV3C but validation failures for OMVCC) are gone: benches now ask for
+  /// the counter they mean by its native name via Counter().
+  obs::MetricsSnapshot metrics;
   // VersionArena counters (zero for SV engines and -DMV3C_ARENA=OFF):
   // allocator churn reported separately from protocol cost (ISSUE 2).
   uint64_t arena_slabs_created = 0;
@@ -62,11 +67,40 @@ struct RunResult {
   double Tps() const {
     return static_cast<double>(committed) / seconds;
   }
+  /// Summed value of a native counter across all merged registries; zero
+  /// if no engine in the run exposes it.
+  uint64_t Counter(std::string_view name) const { return metrics.Value(name); }
 };
 
-/// Copies the manager's arena counters into the run result; call after the
-/// stream finishes and before the manager dies.
-inline void AttachArenaStats(RunResult* out, const TransactionManager& mgr) {
+/// Declared at the top of every bench main: arms the conflict tracer when
+/// MV3C_TRACE=<path> is set and writes the Chrome trace_event JSON there at
+/// exit (open in chrome://tracing or ui.perfetto.dev; scripts/README_tracing.md).
+struct TraceSession {
+  TraceSession() { obs::EnableTraceFromEnv(); }
+  ~TraceSession() { obs::DumpTraceIfRequested(); }
+};
+
+/// Emits one machine-readable JSON line per run: identity (bench, engine,
+/// window), throughput, and the merged observability data — per-phase
+/// p50/p99/max latencies plus every native counter. Lines are prefixed
+/// "RUNJSON " so scripts can grep them out of the human-readable tables.
+inline void EmitRunJson(const char* bench, const char* engine, size_t window,
+                        const RunResult& r) {
+  std::printf(
+      "RUNJSON {\"bench\":\"%s\",\"engine\":\"%s\",\"window\":%zu,"
+      "\"seconds\":%.6f,\"committed\":%llu,\"tps\":%.1f,"
+      "\"phases\":%s,\"counters\":%s}\n",
+      bench, engine, window, r.seconds,
+      static_cast<unsigned long long>(r.committed), r.Tps(),
+      r.metrics.PhasesJson().c_str(), r.metrics.CountersJson().c_str());
+  std::fflush(stdout);
+}
+
+/// Copies the manager's arena counters and merges its metrics (GC counters,
+/// kGc/kArenaRetire histograms) into the run result; call after the stream
+/// finishes and before the manager dies.
+inline void AttachArenaStats(RunResult* out, TransactionManager& mgr) {
+  out->metrics.Merge(mgr.metrics().Snapshot());
   const VersionArena::Stats s = mgr.arena().snapshot();
   out->arena_slabs_created = s.slabs_created;
   out->arena_slabs_retired = s.slabs_retired;
@@ -82,32 +116,21 @@ RunResult Drive(size_t window, uint64_t n_txns, MakeExec&& make_exec,
                 MakeProgram&& make_program,
                 std::function<void()> maintenance) {
   WindowDriver<Executor> driver(window, make_exec, std::move(maintenance));
-  Timer timer;
   const DriveResult r =
       driver.Run(CountedSource<typename Executor::Program>(
           n_txns, make_program));
   RunResult out;
-  out.seconds = timer.Seconds();
+  out.seconds = r.seconds;  // timed by the driver itself (excludes setup)
   out.committed = r.committed;
   out.user_aborted = r.user_aborted;
   out.exhausted = r.exhausted;
   out.escalations = r.escalations;
   out.max_rounds = r.max_rounds;
+  // Generic aggregation: every executor registers its counters and phase
+  // histograms on its MetricsRegistry, so one Merge per executor replaces
+  // the old duck-typed field remapping.
   for (Executor* e : driver.executors()) {
-    out.backoff_us += e->stats().backoff_us;
-    out.failpoint_trips += e->stats().failpoint_trips;
-    if constexpr (requires { e->stats().repair_rounds; }) {
-      out.conflict_rounds += e->stats().repair_rounds;
-      out.ww_restarts += e->stats().ww_restarts;
-    } else if constexpr (requires { e->stats().ww_restarts; }) {
-      out.conflict_rounds += e->stats().validation_failures;
-      out.ww_restarts += e->stats().ww_restarts;
-    } else {
-      out.conflict_rounds += e->stats().validation_failures;
-    }
-    if constexpr (requires { e->stats().versions_discarded; }) {
-      out.versions_discarded += e->stats().versions_discarded;
-    }
+    out.metrics.Merge(e->metrics().Snapshot());
   }
   return out;
 }
@@ -273,11 +296,14 @@ RunResult RunTpccSv(size_t window, const TpccSetup& s) {
   Engine engine;
   // SILO is per-worker in real deployments; with the single-threaded
   // window driver one engine instance is race-free for both.
-  return Drive<SvExecutor<Engine>>(
+  RunResult r = Drive<SvExecutor<Engine>>(
       window, s.n_txns,
       [&](...) { return std::make_unique<SvExecutor<Engine>>(&engine); },
       [&](uint64_t i) { return tpcc::SvTpccProgram(db, stream[i]); },
       nullptr);
+  // The engine (not the executor) owns the validation-phase histogram.
+  r.metrics.Merge(engine.metrics().Snapshot());
+  return r;
 }
 
 // --- TATP (Figure 10) ---

@@ -2,6 +2,7 @@
 #define MV3C_DRIVER_WINDOW_DRIVER_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -61,11 +62,29 @@ class WindowDriver {
     }
   }
 
-  /// Drives the stream to completion and returns aggregate counts.
+  /// Maintenance cadence: one firing per kMaintenanceEveryCompletions
+  /// completed transactions OR per kMaintenanceEverySteps executor steps
+  /// since the last firing, whichever comes first. The step bound exists
+  /// because completions alone stall under extreme contention (transactions
+  /// retrying for many rounds complete nothing, yet the recently-committed
+  /// list and the retired-version backlog keep growing). Both counters
+  /// reset together on every firing so the two triggers can never stack
+  /// into back-to-back GC passes.
+  static constexpr uint64_t kMaintenanceEveryCompletions = 1024;
+  static constexpr uint64_t kMaintenanceEverySteps = 2048;
+
+  /// Drives the stream to completion and returns aggregate counts,
+  /// including the wall-clock `seconds` of the whole run.
   DriveResult Run(const ProgramSource& next_program) {
     DriveResult result;
-    uint64_t since_maintenance = 0;
+    const auto run_start = std::chrono::steady_clock::now();
+    uint64_t completions_since_maintenance = 0;
     uint64_t steps_since_maintenance = 0;
+    const auto run_maintenance = [&] {
+      completions_since_maintenance = 0;
+      steps_since_maintenance = 0;
+      maintenance_();
+    };
     bool stream_open = true;
     while (true) {
       // Refill: start fresh transactions in the free slots (they must all
@@ -91,14 +110,9 @@ class WindowDriver {
       for (Slot& slot : slots_) {
         if (!slot.busy) continue;
         ++result.steps;
-        // Maintenance must not depend on completions alone: under extreme
-        // contention transactions can retry for many rounds, and without
-        // garbage collection the recently-committed list (and the retired
-        // version backlog) would grow without bound, making every further
-        // validation slower.
-        if (maintenance_ != nullptr && ++steps_since_maintenance >= 2048) {
-          steps_since_maintenance = 0;
-          maintenance_();
+        if (maintenance_ != nullptr &&
+            ++steps_since_maintenance >= kMaintenanceEverySteps) {
+          run_maintenance();
         }
         StepResult r = slot.executor->Step();
         if (r == StepResult::kNeedsRetry) {
@@ -123,12 +137,15 @@ class WindowDriver {
         if (on_complete_ != nullptr) {
           on_complete_(slot.stream_index, r, *slot.executor);
         }
-        if (maintenance_ != nullptr && ++since_maintenance >= 1024) {
-          since_maintenance = 0;
-          maintenance_();
+        if (maintenance_ != nullptr &&
+            ++completions_since_maintenance >= kMaintenanceEveryCompletions) {
+          run_maintenance();
         }
       }
     }
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - run_start)
+                         .count();
     return result;
   }
 

@@ -10,6 +10,8 @@
 #include "common/retry_policy.h"
 #include "common/status.h"
 #include "mv3c/mv3c_transaction.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mv3c {
 
@@ -45,7 +47,9 @@ class Mv3cExecutor {
   using Program = std::function<ExecStatus(Mv3cTransaction&)>;
 
   Mv3cExecutor(TransactionManager* mgr, Mv3cConfig config = {})
-      : config_(config), ctrl_(MergedPolicy(config)), txn_(mgr) {}
+      : config_(config), ctrl_(MergedPolicy(config)), txn_(mgr) {
+    obs::RegisterCounters(&metrics_, &txn_.stats());
+  }
 
   /// Installs the program of the next logical transaction.
   void Reset(Program program) {
@@ -58,19 +62,34 @@ class Mv3cExecutor {
   }
 
   /// Starts the transaction (draws start timestamp and transaction id).
-  void Begin() { txn_.manager()->Begin(&txn_.inner()); }
+  void Begin() {
+    txn_.manager()->Begin(&txn_.inner());
+    // Phase timing is sampled per transaction (obs::kPhaseSampleEvery):
+    // every phase of a sampled transaction is timed, unsampled ones skip
+    // the TSC reads entirely via the null-registry timer.
+    timed_metrics_ = sampler_.Tick() ? &metrics_ : nullptr;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kBegin, txn_.inner().txn_id());
+  }
 
-  /// Performs the pending work and one validation/commit attempt.
+  /// Performs the pending work and one validation/commit attempt. Each
+  /// sub-step runs under a scoped phase timer (obs::Phase) so benchmarks
+  /// can report where per-transaction time goes (DESIGN §5d).
   StepResult Step() {
     ExecStatus st = ExecStatus::kOk;
     switch (phase_) {
       case Phase::kExecute:
-      case Phase::kRestart:
+      case Phase::kRestart: {
+        obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kExecute);
         st = txn_.RunProgram(program_);
         break;
-      case Phase::kRepair:
+      }
+      case Phase::kRepair: {
+        obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kRepair);
+        MV3C_TRACE_EVENT(obs::TraceEvent::kRepairRound,
+                         txn_.inner().txn_id());
         st = txn_.Repair();
         break;
+      }
     }
     if (st == ExecStatus::kUserAbort) return FinishUserAbort();
     if (st == ExecStatus::kWriteWriteConflict) return BeginRestart();
@@ -80,6 +99,7 @@ class Mv3cExecutor {
       last_commit_ts_ = txn_.inner().start_ts();
       ++txn_.stats().commits;
       txn_.ResetGraph();
+      MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
       return StepResult::kCommitted;
     }
 
@@ -89,7 +109,11 @@ class Mv3cExecutor {
       // invalid the repair itself runs inside the critical section so the
       // transaction is guaranteed to commit right after.
       ++txn_.stats().exclusive_repairs;
-      txn_.PrevalidateAndMark();
+      {
+        obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kValidate);
+        txn_.PrevalidateAndMark();
+      }
+      obs::ScopedPhaseTimer commit_timer(timed_metrics_, obs::Phase::kCommit);
       const ExecStatus xs = txn_.manager()->TryCommitExclusive(
           &txn_.inner(),
           [this](CommittedRecord* head) {
@@ -102,36 +126,48 @@ class Mv3cExecutor {
           },
           [this]() {
             ++txn_.stats().validation_failures;
+            MV3C_TRACE_EVENT(obs::TraceEvent::kValidateFail,
+                             txn_.inner().txn_id());
             return txn_.Repair();
           },
           &last_commit_ts_);
       if (xs == ExecStatus::kOk) {
         ++txn_.stats().commits;
         txn_.ResetGraph();
+        MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
         return StepResult::kCommitted;
       }
       if (xs == ExecStatus::kUserAbort) return FinishUserAbort();
       return BeginRestart();
     }
-    if (!txn_.PrevalidateAndMark()) {
-      // Conflicts found outside the critical section: draw the new start
-      // timestamp (§2.5) and repair in the next step.
-      txn_.manager()->Retimestamp(&txn_.inner());
-      return FailRound();
+    {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kValidate);
+      if (!txn_.PrevalidateAndMark()) {
+        // Conflicts found outside the critical section: draw the new start
+        // timestamp (§2.5) and repair in the next step.
+        txn_.manager()->Retimestamp(&txn_.inner());
+        return FailRound();
+      }
     }
-    if (txn_.manager()->TryCommit(
-            &txn_.inner(),
-            [this](CommittedRecord* head) {
-              bool ok = txn_.ValidateAndMark(head);
-              if (MV3C_FAILPOINT(failpoint::Site::kCommitDelta) &&
-                  txn_.ForceInvalidatePredicate()) {
-                ok = false;
-              }
-              return ok;
-            },
-            &last_commit_ts_)) {
+    bool committed;
+    {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kCommit);
+      committed = txn_.manager()->TryCommit(
+          &txn_.inner(),
+          [this](CommittedRecord* head) {
+            bool ok = txn_.ValidateAndMark(head);
+            if (MV3C_FAILPOINT(failpoint::Site::kCommitDelta) &&
+                txn_.ForceInvalidatePredicate()) {
+              ok = false;
+            }
+            return ok;
+          },
+          &last_commit_ts_);
+    }
+    if (committed) {
       ++txn_.stats().commits;
       txn_.ResetGraph();
+      MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
       return StepResult::kCommitted;
     }
     return FailRound();
@@ -154,6 +190,7 @@ class Mv3cExecutor {
   StepResult GiveUp() { return FinishExhausted(); }
 
   Mv3cTransaction& txn() { return txn_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
   const Mv3cStats& stats() const {
     return const_cast<Mv3cExecutor*>(this)->txn_.stats();
   }
@@ -176,6 +213,7 @@ class Mv3cExecutor {
     txn_.RollbackAll();
     txn_.manager()->FinishAborted(&txn_.inner());
     ++txn_.stats().user_aborts;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, txn_.inner().txn_id());
     return StepResult::kUserAborted;
   }
 
@@ -183,6 +221,7 @@ class Mv3cExecutor {
     txn_.RollbackAll();
     txn_.manager()->FinishAborted(&txn_.inner());
     ++txn_.stats().exhausted;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, txn_.inner().txn_id());
     return StepResult::kExhausted;
   }
 
@@ -212,6 +251,7 @@ class Mv3cExecutor {
 
   StepResult FailRound() {
     ++txn_.stats().validation_failures;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kValidateFail, txn_.inner().txn_id());
     const RetryDecision d = NoteFailure();
     switch (d) {
       case RetryDecision::kGiveUp:
@@ -239,6 +279,12 @@ class Mv3cExecutor {
   Phase phase_ = Phase::kExecute;
   bool exclusive_mode_ = false;
   Timestamp last_commit_ts_ = 0;
+  // Executor registries are single-threaded (one executor per window
+  // slot); recording skips the lock. timed_metrics_ is the per-transaction
+  // sampling decision: &metrics_ or null, refreshed in Begin().
+  obs::MetricsRegistry metrics_{obs::RecordSync::kUnsynchronized};
+  obs::MetricsRegistry* timed_metrics_ = nullptr;
+  obs::PhaseSampler sampler_;
 };
 
 }  // namespace mv3c

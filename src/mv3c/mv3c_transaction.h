@@ -16,47 +16,9 @@
 #include "mvcc/predicate.h"
 #include "mvcc/transaction.h"
 #include "mvcc/transaction_manager.h"
+#include "obs/engine_stats.h"  // Mv3cStats (migrated to the obs layer)
 
 namespace mv3c {
-
-/// Per-engine statistics; accumulated across the transactions an executor
-/// runs, reported by benchmarks.
-struct Mv3cStats {
-  uint64_t commits = 0;
-  uint64_t user_aborts = 0;
-  uint64_t ww_restarts = 0;           // fail-fast write-write restarts
-  uint64_t validation_failures = 0;   // failed validation rounds
-  uint64_t repair_rounds = 0;         // Repair algorithm invocations
-  uint64_t invalidated_predicates = 0;
-  uint64_t reexecuted_closures = 0;   // frontier closures re-run by Repair
-  uint64_t result_set_fixes = 0;      // §4.2 patched scans
-  uint64_t exclusive_repairs = 0;     // §4.3 in-critical-section repairs
-  uint64_t escalations = 0;           // retry-policy ladder transitions
-  uint64_t exhausted = 0;             // gave up after the attempt budget
-  uint64_t backoff_us = 0;            // microseconds slept backing off
-  uint64_t failpoint_trips = 0;       // injected faults observed
-  uint64_t max_rounds = 0;            // most failed rounds in one txn
-  uint64_t versions_discarded = 0;    // versions returned to the arena by
-                                      // rollback/repair before commit
-
-  void Add(const Mv3cStats& o) {
-    commits += o.commits;
-    user_aborts += o.user_aborts;
-    ww_restarts += o.ww_restarts;
-    validation_failures += o.validation_failures;
-    repair_rounds += o.repair_rounds;
-    invalidated_predicates += o.invalidated_predicates;
-    reexecuted_closures += o.reexecuted_closures;
-    result_set_fixes += o.result_set_fixes;
-    exclusive_repairs += o.exclusive_repairs;
-    escalations += o.escalations;
-    exhausted += o.exhausted;
-    backoff_us += o.backoff_us;
-    failpoint_trips += o.failpoint_trips;
-    max_rounds = std::max(max_rounds, o.max_rounds);
-    versions_discarded += o.versions_discarded;
-  }
-};
 
 /// Engine configuration.
 struct Mv3cConfig {

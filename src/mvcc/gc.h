@@ -12,6 +12,7 @@
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
 #include "mvcc/version_arena.h"
+#include "obs/trace.h"
 
 namespace mv3c {
 
@@ -63,7 +64,9 @@ class GarbageCollector {
       // standing on an unlinked version.
       return 0;
     }
-    return CollectImpl(safe_before);
+    const size_t freed = CollectImpl(safe_before);
+    MV3C_TRACE_EVENT(obs::TraceEvent::kGc, freed);
+    return freed;
   }
 
   /// Frees everything unconditionally; only valid when no transaction is

@@ -12,6 +12,7 @@
 #include "mvcc/timestamp.h"
 #include "mvcc/transaction.h"
 #include "mvcc/version_arena.h"
+#include "obs/metrics.h"
 
 namespace mv3c {
 
@@ -41,6 +42,11 @@ class TransactionManager {
 
   TransactionManager() {
     for (auto& s : active_) s.start.store(kIdleSlot, std::memory_order_relaxed);
+    // Manager-level maintenance counters live on the shared registry so the
+    // bench aggregation sees them next to the per-executor engine counters.
+    metrics_.RegisterCounter("gc_rounds", &gc_rounds_);
+    metrics_.RegisterCounter("gc_nodes_freed", &gc_nodes_freed_);
+    arena_.set_metrics(&metrics_);
   }
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
@@ -216,15 +222,23 @@ class TransactionManager {
 
   /// Trims the recently-committed list and frees retired garbage. Called
   /// periodically by execution drivers; rate limiting is the caller's
-  /// business.
+  /// business. The whole pass is one kGc phase sample; drivers are
+  /// single-threaded per manager for maintenance, so the plain counters
+  /// need no synchronization.
   void CollectGarbage() {
+    obs::ScopedPhaseTimer timer(&metrics_, obs::Phase::kGc);
     const Timestamp watermark = OldestActiveStart();
     TrimRecentlyCommitted(watermark);
-    gc_.Collect(watermark);
+    gc_nodes_freed_ += gc_.Collect(watermark);
+    ++gc_rounds_;
     // Recycle slabs whose retirement a kGcReclaim firing parked; same
     // drains-once-injection-stops contract as the node-level backlog.
     arena_.DrainDeferred();
   }
+
+  /// Manager-level metrics (GC rounds/freed counters, kGc and kArenaRetire
+  /// phase histograms). Benchmarks merge this with executor registries.
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   /// Number of records currently reachable in the RC list; metrics/tests.
   size_t RecentlyCommittedLength() const {
@@ -299,7 +313,13 @@ class TransactionManager {
   SpinLock commit_lock_;
   std::atomic<uint32_t> slot_hint_{0};
   Slot active_[kMaxActive];
-  VersionArena arena_;  // declared before gc_: slabs outlive GC teardown
+  uint64_t gc_rounds_ = 0;
+  uint64_t gc_nodes_freed_ = 0;
+  // Declaration order is teardown-load-bearing: metrics_ before arena_
+  // (slab retirement during arena teardown records kArenaRetire samples),
+  // arena_ before gc_ (slabs outlive GC teardown).
+  obs::MetricsRegistry metrics_;
+  VersionArena arena_;
   GarbageCollector gc_;
 };
 

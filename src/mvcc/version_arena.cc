@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mv3c {
 
 using arena_internal::kAllocAlign;
@@ -204,6 +207,9 @@ void VersionArena::RetireSlab(Slab* slab) {
   // Called exactly once per slab lifetime: only by the unique observer of
   // live's 1->0 transition (see SealSlab/ReleaseObject).
   VersionArena* owner = slab->owner;
+  obs::ScopedPhaseTimer timer(owner->metrics_, obs::Phase::kArenaRetire);
+  MV3C_TRACE_EVENT(obs::TraceEvent::kArenaRetire,
+                   owner->slabs_retired_.load(std::memory_order_relaxed));
   owner->slabs_retired_.fetch_add(1, std::memory_order_relaxed);
   if (MV3C_FAILPOINT(failpoint::Site::kGcReclaim)) {
     // Injected lagging collector at slab granularity: park the slab on the

@@ -30,6 +30,10 @@
 
 namespace mv3c {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// Compile-time switch (-DMV3C_ARENA=ON/OFF): when off, every Create/Destroy
 /// below degenerates to plain new/delete — the pre-arena behavior kept
 /// compilable for A/B measurement of allocator churn. These are the ONLY
@@ -212,6 +216,11 @@ class VersionArena {
 
   Stats snapshot() const;
 
+  /// Optional registry for the kArenaRetire phase histogram (set by the
+  /// owning TransactionManager; null is fine — timers tolerate it). The
+  /// registry must outlive the arena.
+  void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
+
  private:
   struct alignas(MV3C_CACHELINE_SIZE) ThreadSlot {
     SpinLock lock;
@@ -262,6 +271,7 @@ class VersionArena {
   arena_internal::Slab* NewSlab(size_t total_bytes, bool oversize);
 
   ThreadSlot slots_[kThreadSlots];
+  obs::MetricsRegistry* metrics_ = nullptr;
 
   mutable SpinLock slabs_lock_;  // guards freelist_, all_, deferred_
   std::vector<arena_internal::Slab*> freelist_;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "sv/sv_transaction.h"
 
 namespace mv3c {
@@ -17,16 +18,25 @@ class OccEngine {
  public:
   /// Validates and commits `t`. Returns true on commit; on false the
   /// caller rolls back (clears the sets) and restarts the program.
+  /// The validation section records into the engine's kValidate histogram,
+  /// sampled 1-in-kPhaseSampleEvery per calling thread; since OCC shares
+  /// one engine across executors the registry stays synchronized for the
+  /// (rare, post-measurement) recording step.
   bool Commit(sv::SvTransaction& t) {
+    thread_local obs::PhaseSampler sampler;
     std::lock_guard<std::mutex> g(mu_);
-    for (const sv::SvRead& r : t.reads()) {
-      if (r.tid_word->load(std::memory_order_acquire) != r.observed) {
-        return false;
+    {
+      obs::ScopedPhaseTimer timer(sampler.Tick() ? &metrics_ : nullptr,
+                                  obs::Phase::kValidate);
+      for (const sv::SvRead& r : t.reads()) {
+        if (r.tid_word->load(std::memory_order_acquire) != r.observed) {
+          return false;
+        }
       }
-    }
-    for (const sv::SvNode& n : t.nodes()) {
-      if (n.version->load(std::memory_order_acquire) != n.observed) {
-        return false;
+      for (const sv::SvNode& n : t.nodes()) {
+        if (n.version->load(std::memory_order_acquire) != n.observed) {
+          return false;
+        }
       }
     }
     const uint64_t commit_tid =
@@ -35,9 +45,12 @@ class OccEngine {
     return true;
   }
 
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   std::mutex mu_;
   std::atomic<uint64_t> tid_seq_{2};
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace mv3c

@@ -12,34 +12,11 @@
 #include "mvcc/predicate.h"
 #include "mvcc/transaction.h"
 #include "mvcc/transaction_manager.h"
+#include "obs/engine_stats.h"  // OmvccStats (migrated to the obs layer)
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mv3c {
-
-/// Statistics for the OMVCC baseline.
-struct OmvccStats {
-  uint64_t commits = 0;
-  uint64_t user_aborts = 0;
-  uint64_t ww_restarts = 0;          // premature aborts on WW conflicts
-  uint64_t validation_failures = 0;  // abort-and-restart on failed validation
-  uint64_t exhausted = 0;            // gave up after the attempt budget
-  uint64_t backoff_us = 0;           // microseconds slept backing off
-  uint64_t failpoint_trips = 0;      // injected faults observed
-  uint64_t max_rounds = 0;           // most failed rounds in one txn
-  uint64_t versions_discarded = 0;   // versions returned to the arena by
-                                     // restart rollbacks before commit
-
-  void Add(const OmvccStats& o) {
-    commits += o.commits;
-    user_aborts += o.user_aborts;
-    ww_restarts += o.ww_restarts;
-    validation_failures += o.validation_failures;
-    exhausted += o.exhausted;
-    backoff_us += o.backoff_us;
-    failpoint_trips += o.failpoint_trips;
-    max_rounds = std::max(max_rounds, o.max_rounds);
-    versions_discarded += o.versions_discarded;
-  }
-};
 
 /// The OMVCC baseline (paper §2.1; the optimistic MVCC of Neumann et al.
 /// that MV3C builds on): transactions gather a flat list of predicates for
@@ -225,7 +202,9 @@ class OmvccExecutor {
   using Program = std::function<ExecStatus(OmvccTransaction&)>;
 
   explicit OmvccExecutor(TransactionManager* mgr, RetryPolicy policy = {})
-      : ctrl_(policy), txn_(mgr) {}
+      : ctrl_(policy), txn_(mgr) {
+    obs::RegisterCounters(&metrics_, &txn_.stats());
+  }
 
   void Reset(Program program) {
     program_ = std::move(program);
@@ -233,14 +212,24 @@ class OmvccExecutor {
     txn_.ClearPredicates();  // drop state from the previous transaction
   }
 
-  void Begin() { txn_.manager()->Begin(&txn_.inner()); }
+  void Begin() {
+    txn_.manager()->Begin(&txn_.inner());
+    // Per-transaction phase-timing sample (obs::kPhaseSampleEvery).
+    timed_metrics_ = sampler_.Tick() ? &metrics_ : nullptr;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kBegin, txn_.inner().txn_id());
+  }
 
   StepResult Step() {
-    const ExecStatus st = program_(txn_);
+    ExecStatus st;
+    {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kExecute);
+      st = program_(txn_);
+    }
     if (st == ExecStatus::kUserAbort) {
       txn_.RollbackAll();
       txn_.manager()->FinishAborted(&txn_.inner());
       ++txn_.stats().user_aborts;
+      MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, txn_.inner().txn_id());
       return StepResult::kUserAborted;
     }
     if (st == ExecStatus::kWriteWriteConflict) {
@@ -254,25 +243,35 @@ class OmvccExecutor {
       last_commit_ts_ = txn_.inner().start_ts();
       ++txn_.stats().commits;
       txn_.ClearPredicates();
+      MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
       return StepResult::kCommitted;
     }
-    if (!txn_.Prevalidate()) {
-      txn_.manager()->Retimestamp(&txn_.inner());
-      return FailValidation();
+    {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kValidate);
+      if (!txn_.Prevalidate()) {
+        txn_.manager()->Retimestamp(&txn_.inner());
+        return FailValidation();
+      }
     }
-    if (txn_.manager()->TryCommit(
-            &txn_.inner(),
-            [this](CommittedRecord* head) {
-              bool ok = txn_.Validate(head);
-              if (ok && MV3C_FAILPOINT(failpoint::Site::kCommitDelta)) {
-                ++txn_.stats().failpoint_trips;
-                ok = false;
-              }
-              return ok;
-            },
-            &last_commit_ts_)) {
+    bool committed;
+    {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kCommit);
+      committed = txn_.manager()->TryCommit(
+          &txn_.inner(),
+          [this](CommittedRecord* head) {
+            bool ok = txn_.Validate(head);
+            if (ok && MV3C_FAILPOINT(failpoint::Site::kCommitDelta)) {
+              ++txn_.stats().failpoint_trips;
+              ok = false;
+            }
+            return ok;
+          },
+          &last_commit_ts_);
+    }
+    if (committed) {
       ++txn_.stats().commits;
       txn_.ClearPredicates();
+      MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
       return StepResult::kCommitted;
     }
     return FailValidation();
@@ -293,6 +292,7 @@ class OmvccExecutor {
   StepResult GiveUp() { return FinishExhausted(); }
 
   OmvccTransaction& txn() { return txn_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
   const OmvccStats& stats() const {
     return const_cast<OmvccExecutor*>(this)->txn_.stats();
   }
@@ -307,6 +307,7 @@ class OmvccExecutor {
     txn_.RollbackAll();
     txn_.inner().ResetValidationWatermark();
     ++txn_.stats().validation_failures;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kValidateFail, txn_.inner().txn_id());
     return FailRound();
   }
 
@@ -323,6 +324,7 @@ class OmvccExecutor {
     txn_.RollbackAll();
     txn_.manager()->FinishAborted(&txn_.inner());
     ++txn_.stats().exhausted;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, txn_.inner().txn_id());
     return StepResult::kExhausted;
   }
 
@@ -330,6 +332,11 @@ class OmvccExecutor {
   OmvccTransaction txn_;
   Program program_;
   Timestamp last_commit_ts_ = 0;
+  // Executor registries are single-threaded; recording skips the lock.
+  // timed_metrics_ is the per-transaction sampling decision (Begin()).
+  obs::MetricsRegistry metrics_{obs::RecordSync::kUnsynchronized};
+  obs::MetricsRegistry* timed_metrics_ = nullptr;
+  obs::PhaseSampler sampler_;
 };
 
 }  // namespace mv3c

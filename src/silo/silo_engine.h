@@ -5,6 +5,7 @@
 #include <atomic>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sv/sv_transaction.h"
 
 namespace mv3c {
@@ -54,25 +55,31 @@ class SiloEngine {
       }
       if (!ok) break;
     }
-    // Phase 2: validate reads and scan nodes.
-    if (ok) {
-      for (const sv::SvRead& r : t.reads()) {
-        const uint64_t cur = r.tid_word->load(std::memory_order_acquire);
-        if (cur == r.observed) continue;
-        // Locked by us with an otherwise unchanged TID is still valid.
-        if (sv::IsLocked(cur) && (cur & ~sv::kLockBit) == r.observed &&
-            t.WritesWord(r.tid_word)) {
-          continue;
-        }
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      for (const sv::SvNode& n : t.nodes()) {
-        if (n.version->load(std::memory_order_acquire) != n.observed) {
+    // Phase 2: validate reads and scan nodes. Timing is sampled
+    // 1-in-kPhaseSampleEvery per thread (see obs/metrics.h).
+    thread_local obs::PhaseSampler sampler;
+    {
+      obs::ScopedPhaseTimer timer(sampler.Tick() ? &metrics_ : nullptr,
+                                  obs::Phase::kValidate);
+      if (ok) {
+        for (const sv::SvRead& r : t.reads()) {
+          const uint64_t cur = r.tid_word->load(std::memory_order_acquire);
+          if (cur == r.observed) continue;
+          // Locked by us with an otherwise unchanged TID is still valid.
+          if (sv::IsLocked(cur) && (cur & ~sv::kLockBit) == r.observed &&
+              t.WritesWord(r.tid_word)) {
+            continue;
+          }
           ok = false;
           break;
+        }
+      }
+      if (ok) {
+        for (const sv::SvNode& n : t.nodes()) {
+          if (n.version->load(std::memory_order_acquire) != n.observed) {
+            ok = false;
+            break;
+          }
         }
       }
     }
@@ -93,8 +100,11 @@ class SiloEngine {
     return true;
   }
 
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   uint64_t last_tid_ = 1;  // per-engine-instance (one engine per worker)
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace mv3c

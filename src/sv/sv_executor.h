@@ -8,30 +8,12 @@
 #include "common/failpoint.h"
 #include "common/retry_policy.h"
 #include "common/status.h"
+#include "obs/engine_stats.h"  // SvStats (migrated to the obs layer)
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sv/sv_transaction.h"
 
 namespace mv3c {
-
-/// Statistics for the single-version engines.
-struct SvStats {
-  uint64_t commits = 0;
-  uint64_t user_aborts = 0;
-  uint64_t validation_failures = 0;  // abort-and-restart rounds
-  uint64_t exhausted = 0;            // gave up after the attempt budget
-  uint64_t backoff_us = 0;           // microseconds slept backing off
-  uint64_t failpoint_trips = 0;      // injected faults observed
-  uint64_t max_rounds = 0;           // most failed rounds in one txn
-
-  void Add(const SvStats& o) {
-    commits += o.commits;
-    user_aborts += o.user_aborts;
-    validation_failures += o.validation_failures;
-    exhausted += o.exhausted;
-    backoff_us += o.backoff_us;
-    failpoint_trips += o.failpoint_trips;
-    max_rounds = std::max(max_rounds, o.max_rounds);
-  }
-};
 
 /// Step-based driver adapter for the single-version engines, so OCC and
 /// SILO plug into the same WindowDriver/ThreadDriver as the MVCC engines.
@@ -45,7 +27,9 @@ class SvExecutor {
   using Program = std::function<ExecStatus(sv::SvTransaction&)>;
 
   explicit SvExecutor(Engine* engine, RetryPolicy policy = {})
-      : engine_(engine), ctrl_(policy) {}
+      : engine_(engine), ctrl_(policy) {
+    obs::RegisterCounters(&metrics_, &stats_);
+  }
 
   void Reset(Program program) {
     program_ = std::move(program);
@@ -53,14 +37,24 @@ class SvExecutor {
     txn_.Clear();
   }
 
-  /// Single-version OCC has no global begin (no timestamp to draw).
-  void Begin() {}
+  /// Single-version OCC has no global begin (no timestamp to draw); the
+  /// executor-local sequence number stands in for a txn id in traces.
+  void Begin() {
+    // Per-transaction phase-timing sample (obs::kPhaseSampleEvery).
+    timed_metrics_ = sampler_.Tick() ? &metrics_ : nullptr;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kBegin, ++seq_);
+  }
 
   StepResult Step() {
     txn_.Clear();
-    const ExecStatus st = program_(txn_);
+    ExecStatus st;
+    {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kExecute);
+      st = program_(txn_);
+    }
     if (st == ExecStatus::kUserAbort) {
       ++stats_.user_aborts;
+      MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, seq_);
       return StepResult::kUserAborted;
     }
     MV3C_DCHECK(st == ExecStatus::kOk);
@@ -72,11 +66,18 @@ class SvExecutor {
       ++stats_.failpoint_trips;
       injected = true;
     }
-    if (!injected && engine_->Commit(txn_)) {
+    bool committed = false;
+    if (!injected) {
+      obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kCommit);
+      committed = engine_->Commit(txn_);
+    }
+    if (committed) {
       ++stats_.commits;
+      MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, seq_);
       return StepResult::kCommitted;
     }
     ++stats_.validation_failures;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kValidateFail, seq_);
     const RetryDecision d = ctrl_.OnFailure();
     stats_.max_rounds = std::max<uint64_t>(stats_.max_rounds,
                                            ctrl_.attempts());
@@ -84,6 +85,7 @@ class SvExecutor {
     if (d == RetryDecision::kGiveUp) {
       txn_.Clear();
       ++stats_.exhausted;
+      MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, seq_);
       return StepResult::kExhausted;
     }
     return StepResult::kNeedsRetry;
@@ -106,10 +108,12 @@ class SvExecutor {
   StepResult GiveUp() {
     txn_.Clear();
     ++stats_.exhausted;
+    MV3C_TRACE_EVENT(obs::TraceEvent::kAbort, seq_);
     return StepResult::kExhausted;
   }
 
   sv::SvTransaction& txn() { return txn_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
   const SvStats& stats() const { return stats_; }
   uint32_t attempts() const { return ctrl_.attempts(); }
 
@@ -119,6 +123,12 @@ class SvExecutor {
   sv::SvTransaction txn_;
   Program program_;
   SvStats stats_;
+  // Executor registries are single-threaded; recording skips the lock.
+  // timed_metrics_ is the per-transaction sampling decision (Begin()).
+  obs::MetricsRegistry metrics_{obs::RecordSync::kUnsynchronized};
+  obs::MetricsRegistry* timed_metrics_ = nullptr;
+  obs::PhaseSampler sampler_;
+  uint64_t seq_ = 0;
 };
 
 }  // namespace mv3c

@@ -36,6 +36,10 @@ TEST_F(DriverTest, WindowOneIsSerial) {
   }
   EXPECT_EQ(conflicts, 0u);
   EXPECT_EQ(r.steps, 200u);  // one step per transaction
+  // Regression: Run() used to leave DriveResult::seconds at zero, which
+  // made every WindowDriver-based benchmark divide by an external timer
+  // that included setup. The driver now times the run itself.
+  EXPECT_GT(r.seconds, 0.0);
 }
 
 TEST_F(DriverTest, CompletionCallbackSeesEveryStreamIndexOnce) {
@@ -84,6 +88,30 @@ TEST_F(DriverTest, RetriedTransactionsFinishAfterStreamEnds) {
       16, [&](uint64_t) { return banking::Mv3cTransferMoney(db_, gen.Next()); }));
   EXPECT_EQ(r.committed + r.user_aborted, 16u);
   EXPECT_EQ(db_.TotalBalance(), 64 * 1000);
+}
+
+TEST_F(DriverTest, MaintenanceCadenceIsUnified) {
+  // Conflict-free serial stream (window 1): every transaction completes in
+  // one step, so steps == completions and only the completion trigger
+  // (every 1024) can fire — the old split-counter scheme would have fired
+  // an extra time from its independent step counter at 2048 because the
+  // completion-path firings never reset it. 3000 transactions => firings
+  // at completions 1024 and 2048 exactly.
+  banking::TransferGenerator gen(64, 100, 3);
+  uint64_t maintenance_calls = 0;
+  WindowDriver<Mv3cExecutor> driver(
+      1, [&](...) { return std::make_unique<Mv3cExecutor>(&mgr_); },
+      [&] {
+        ++maintenance_calls;
+        mgr_.CollectGarbage();
+      });
+  const DriveResult r = driver.Run(CountedSource<Mv3cExecutor::Program>(
+      3000,
+      [&](uint64_t) { return banking::Mv3cTransferMoney(db_, gen.Next()); }));
+  EXPECT_EQ(r.committed + r.user_aborted, 3000u);
+  EXPECT_EQ(r.steps, 3000u);
+  EXPECT_EQ(maintenance_calls, 2u);
+  EXPECT_GT(r.seconds, 0.0);
 }
 
 TEST_F(DriverTest, ThreadDriverCompletesAndConserves) {
