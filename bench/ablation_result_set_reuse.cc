@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       bonus.Reset(banking::Mv3cBonus(db, 300, reuse));
       bonus.Begin();
       Mv3cExecutor w(&mgr);
-      w.Run(banking::Mv3cTransferMoney(db, gen.Next()));
+      w.MustRun(banking::Mv3cTransferMoney(db, gen.Next()));
       StepResult r;
       do {
         r = bonus.Step();

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/cipher.h"
+
+#include "common/macros.h"
 #include "common/zipf.h"
 #include "index/cuckoo_map.h"
 #include "index/ordered_index.h"
@@ -30,7 +32,8 @@ void BM_VersionChainRead(benchmark::State& state) {
   Transaction loader(&mgr);
   mgr.Begin(&loader);
   loader.Insert(table, 1, Row{0, 0});
-  mgr.TryCommit(&loader, [](CommittedRecord*) { return true; });
+  MV3C_CHECK(
+      mgr.TryCommit(&loader, [](CommittedRecord*) { return true; }));
   auto* obj = table.Find(1);
   // Hold an old reader open so truncation cannot shorten the chain.
   Transaction pin(&mgr);
@@ -40,7 +43,7 @@ void BM_VersionChainRead(benchmark::State& state) {
     mgr.Begin(&t);
     t.Update(table, obj, Row{i, i}, ColumnMask::All(), false,
              WwPolicy::kFailFast);
-    mgr.TryCommit(&t, [](CommittedRecord*) { return true; });
+    MV3C_CHECK(mgr.TryCommit(&t, [](CommittedRecord*) { return true; }));
   }
   // Read with the OLD snapshot: traverses the whole chain.
   for (auto _ : state) {
@@ -58,7 +61,8 @@ void BM_UpdateCommit(benchmark::State& state) {
   Transaction loader(&mgr);
   mgr.Begin(&loader);
   loader.Insert(table, 1, Row{0, 0});
-  mgr.TryCommit(&loader, [](CommittedRecord*) { return true; });
+  MV3C_CHECK(
+      mgr.TryCommit(&loader, [](CommittedRecord*) { return true; }));
   auto* obj = table.Find(1);
   int64_t i = 0;
   for (auto _ : state) {
@@ -66,7 +70,7 @@ void BM_UpdateCommit(benchmark::State& state) {
     mgr.Begin(&t);
     t.Update(table, obj, Row{++i, i}, ColumnMask::All(), false,
              WwPolicy::kFailFast);
-    mgr.TryCommit(&t, [](CommittedRecord*) { return true; });
+    MV3C_CHECK(mgr.TryCommit(&t, [](CommittedRecord*) { return true; }));
     if ((i & 1023) == 0) mgr.CollectGarbage();
   }
   state.SetItemsProcessed(state.iterations());
@@ -82,7 +86,8 @@ void BM_PredicateMatch(benchmark::State& state) {
   mgr.Begin(&loader);
   loader.Insert(table, 1, Row{0, 0});
   Timestamp cts;
-  mgr.TryCommit(&loader, [](CommittedRecord*) { return true; }, &cts);
+  MV3C_CHECK(
+      mgr.TryCommit(&loader, [](CommittedRecord*) { return true; }, &cts));
   const VersionBase* v = mgr.rc_head()->versions[0];
   KeyEqCriterion<TestTable> pred(&table, 1);
   pred.set_monitored(ColumnMask::Of(1));  // version modified All -> match
@@ -103,7 +108,8 @@ void BM_ValidationWalk(benchmark::State& state) {
     Transaction loader(&mgr);
     mgr.Begin(&loader);
     for (uint64_t k = 0; k < 1024; ++k) loader.Insert(table, k, Row{});
-    mgr.TryCommit(&loader, [](CommittedRecord*) { return true; });
+    MV3C_CHECK(
+      mgr.TryCommit(&loader, [](CommittedRecord*) { return true; }));
   }
   Transaction victim(&mgr);
   mgr.Begin(&victim);
@@ -112,7 +118,7 @@ void BM_ValidationWalk(benchmark::State& state) {
     mgr.Begin(&t);
     t.Update(table, table.Find(i % 1024), Row{i, i}, ColumnMask::All(),
              false, WwPolicy::kFailFast);
-    mgr.TryCommit(&t, [](CommittedRecord*) { return true; });
+    MV3C_CHECK(mgr.TryCommit(&t, [](CommittedRecord*) { return true; }));
   }
   KeyEqCriterion<TestTable> pred(&table, 9999);  // never matches
   for (auto _ : state) {
@@ -128,7 +134,7 @@ BENCHMARK(BM_ValidationWalk)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_CuckooFind(benchmark::State& state) {
   CuckooMap<uint64_t, uint64_t> map(1 << 16);
-  for (uint64_t k = 0; k < (1 << 16); ++k) map.Insert(k, k);
+  for (uint64_t k = 0; k < (1 << 16); ++k) MV3C_CHECK(map.Insert(k, k));
   Xoshiro256 rng(7);
   uint64_t out;
   for (auto _ : state) {
@@ -150,7 +156,7 @@ BENCHMARK(BM_CuckooInsert);
 
 void BM_OrderedIndexScan(benchmark::State& state) {
   OrderedIndex<uint64_t, uint64_t, SinglePartition> idx;
-  for (uint64_t k = 0; k < 10000; ++k) idx.Insert(k, k);
+  for (uint64_t k = 0; k < 10000; ++k) MV3C_CHECK(idx.Insert(k, k));
   for (auto _ : state) {
     uint64_t sum = 0;
     idx.ScanRange(4000, 4100, [&](uint64_t, uint64_t v) {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "common/macros.h"
 #include "mv3c/mv3c_executor.h"
 #include "mv3c/mv3c_transaction.h"
 
@@ -32,7 +33,7 @@ int main() {
 
   // 3. Populate: programs are callables receiving the MV3C DSL facade.
   Mv3cExecutor loader(&mgr);
-  loader.Run([&](Mv3cTransaction& t) {
+  loader.MustRun([&](Mv3cTransaction& t) {
     for (int64_t id = 0; id < 10; ++id) {
       t.InsertRow(accounts, id, Account{1000});
     }
@@ -83,7 +84,8 @@ int main() {
   b.Reset(transfer(4, 2, 100));
   a.Begin();
   b.Begin();
-  a.Step();                     // a commits first
+  r = a.Step();                 // a commits first
+  MV3C_CHECK(r == StepResult::kCommitted);
   r = b.Step();                 // b fails validation -> repair pending
   std::printf("b first attempt: %s\n",
               r == StepResult::kNeedsRetry ? "validation failed (repairing)"
@@ -96,7 +98,7 @@ int main() {
 
   // 7. Check the final state with a read-only scan.
   Mv3cExecutor reader(&mgr);
-  reader.Run([&](Mv3cTransaction& t) {
+  reader.MustRun([&](Mv3cTransaction& t) {
     return t.Scan(
         accounts, [](const Account&) { return true; }, kBalance, false,
         [](Mv3cTransaction&,

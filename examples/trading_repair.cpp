@@ -40,7 +40,7 @@ int main() {
   trade.Reset(Mv3cTradeOrder(db, order));
   trade.Begin();  // snapshot drawn before the price update commits
   Mv3cExecutor pu(&mgr);
-  pu.Run(Mv3cPriceUpdate(db, {200, 7777}));
+  pu.MustRun(Mv3cPriceUpdate(db, {200, 7777}));
   StepResult r = trade.Step();
   std::printf("MV3C : first attempt  -> %s\n",
               r == StepResult::kNeedsRetry ? "validation failed" : "commit");
@@ -62,7 +62,7 @@ int main() {
   trade2.Reset(OmvccTradeOrder(db2, order));
   trade2.Begin();
   OmvccExecutor pu2(&mgr2);
-  pu2.Run(OmvccPriceUpdate(db2, {200, 7777}));
+  pu2.MustRun(OmvccPriceUpdate(db2, {200, 7777}));
   r = trade2.Step();
   std::printf("OMVCC: first attempt  -> %s\n",
               r == StepResult::kNeedsRetry
@@ -78,7 +78,7 @@ int main() {
 
   // Verify the MV3C-repaired trade line carries the NEW price.
   Mv3cExecutor reader(&mgr);
-  reader.Run([&](Mv3cTransaction& t) {
+  reader.MustRun([&](Mv3cTransaction& t) {
     return t.Lookup(
         db.trade_lines, payload.trade_id * 16 + 1, ColumnMask::All(),
         [&](Mv3cTransaction&, TradeLineTable::Object*,

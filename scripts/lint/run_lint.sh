@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Structured lint suite: clang-query AST rules over compile_commands.json.
+#
+# Replaces the old grep-based hygiene checks (raw version new/delete, stray
+# *Stats structs) with matchers that see types and template arguments
+# instead of token spellings, plus a rule greps could never express
+# (std::lock_guard<SpinLock> hiding a lock from the thread-safety
+# analysis). Rules live in scripts/lint/rules/*.query, one file per rule,
+# each self-documenting.
+#
+# Usage: scripts/lint/run_lint.sh [build-dir]
+#   build-dir defaults to `build` and must contain compile_commands.json
+#   (the top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#
+# Exit codes: 0 clean (or tool unavailable and MV3C_LINT_STRICT unset),
+#             1 rule violation, 2 setup error.
+# Set MV3C_LINT_STRICT=1 (CI does) to make a missing clang-query fatal:
+# locally the suite degrades to a no-op on gcc-only machines, but the gate
+# must never silently skip where it is the gate.
+
+set -u
+
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build}"
+RULES_DIR="scripts/lint/rules"
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "lint: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "lint: configure first: cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+CLANG_QUERY=""
+for cand in clang-query clang-query-20 clang-query-19 clang-query-18 \
+            clang-query-17 clang-query-16 clang-query-15 clang-query-14; do
+  if command -v "${cand}" >/dev/null 2>&1; then
+    CLANG_QUERY="${cand}"
+    break
+  fi
+done
+if [[ -z "${CLANG_QUERY}" ]]; then
+  if [[ "${MV3C_LINT_STRICT:-0}" != "0" ]]; then
+    echo "lint: clang-query not found and MV3C_LINT_STRICT is set." >&2
+    exit 2
+  fi
+  echo "lint: clang-query not found; skipping AST lint (set" \
+       "MV3C_LINT_STRICT=1 to make this an error)."
+  exit 0
+fi
+
+# Every first-party translation unit in the compilation database. The
+# per-rule file scoping (src/, bench/, exemptions) lives inside the
+# matchers themselves, so headers are covered through whichever TU
+# includes them.
+mapfile -t FILES < <(python3 - "${BUILD_DIR}/compile_commands.json" <<'EOF'
+import json, os, sys
+root = os.getcwd() + os.sep
+seen = []
+for entry in json.load(open(sys.argv[1])):
+    f = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    if f.startswith(root) and f not in seen:
+        seen.append(f)
+print("\n".join(seen))
+EOF
+)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "lint: no first-party files in compilation database?" >&2
+  exit 2
+fi
+
+FAILED=0
+for rule in "${RULES_DIR}"/*.query; do
+  out="$(${CLANG_QUERY} -p "${BUILD_DIR}" -f "${rule}" "${FILES[@]}" 2>&1)"
+  # A parse/matcher error would report zero matches and read as a clean
+  # pass; surface it as a setup failure instead.
+  if printf '%s\n' "${out}" | grep -qE '(^|/)[^:]*:[0-9]+:[0-9]+: error: |^Error parsing|unknown command'; then
+    echo "lint: ERROR running $(basename "${rule}"):"
+    printf '%s\n' "${out}" | head -40 | sed 's/^/  /'
+    exit 2
+  fi
+  # clang-query prints "N matches." / "1 match." per `match` command; a
+  # violation is any nonzero total.
+  hits="$(printf '%s\n' "${out}" | grep -cE '^.*: note: "root" binds here' || true)"
+  if [[ "${hits}" -gt 0 ]]; then
+    echo "lint: FAIL $(basename "${rule}") — ${hits} match(es):"
+    printf '%s\n' "${out}" | grep -vE '^[0-9]+ match(es)?\.$' | sed 's/^/  /'
+    FAILED=1
+  else
+    echo "lint: ok   $(basename "${rule}")"
+  fi
+done
+
+exit "${FAILED}"

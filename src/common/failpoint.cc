@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 
 namespace mv3c {
 namespace failpoint {
@@ -26,10 +27,11 @@ struct SiteState {
 /// schedule a pure function of the seed on a single-threaded driver.
 struct Registry {
   SpinLock lock;
-  Xoshiro256 prng{0};
-  SiteState sites[kNumSites];
-  uint64_t schedule_hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
-  uint64_t total_trips = 0;
+  Xoshiro256 prng MV3C_GUARDED_BY(lock) = Xoshiro256(0);
+  SiteState sites[kNumSites] MV3C_GUARDED_BY(lock);
+  uint64_t schedule_hash MV3C_GUARDED_BY(lock) =
+      0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  uint64_t total_trips MV3C_GUARDED_BY(lock) = 0;
 };
 
 Registry& GetRegistry() {
@@ -53,7 +55,7 @@ bool EvaluateSlow(Site site) {
   Action action;
   uint32_t delay_us = 0;
   {
-    std::lock_guard<SpinLock> g(reg.lock);
+    SpinLockGuard g(reg.lock);
     // Re-check under the lock: the site may have disarmed concurrently.
     const uint32_t bit = 1u << static_cast<int>(site);
     if ((g_armed_mask.load(std::memory_order_relaxed) & bit) == 0) {
@@ -95,7 +97,7 @@ bool EvaluateSlow(Site site) {
 
 void Reset(uint64_t seed) {
   internal::Registry& reg = internal::GetRegistry();
-  std::lock_guard<SpinLock> g(reg.lock);
+  SpinLockGuard g(reg.lock);
   internal::g_armed_mask.store(0, std::memory_order_relaxed);
   reg.prng.Seed(seed);
   for (auto& s : reg.sites) s = internal::SiteState{};
@@ -105,7 +107,7 @@ void Reset(uint64_t seed) {
 
 void Arm(Site site, const Config& config) {
   internal::Registry& reg = internal::GetRegistry();
-  std::lock_guard<SpinLock> g(reg.lock);
+  SpinLockGuard g(reg.lock);
   reg.sites[static_cast<int>(site)].config = config;
   internal::g_armed_mask.fetch_or(1u << static_cast<int>(site),
                                   std::memory_order_relaxed);
@@ -122,25 +124,25 @@ void DisarmAll() {
 
 uint64_t Trips(Site site) {
   internal::Registry& reg = internal::GetRegistry();
-  std::lock_guard<SpinLock> g(reg.lock);
+  SpinLockGuard g(reg.lock);
   return reg.sites[static_cast<int>(site)].trips;
 }
 
 uint64_t TotalTrips() {
   internal::Registry& reg = internal::GetRegistry();
-  std::lock_guard<SpinLock> g(reg.lock);
+  SpinLockGuard g(reg.lock);
   return reg.total_trips;
 }
 
 uint64_t Evaluations(Site site) {
   internal::Registry& reg = internal::GetRegistry();
-  std::lock_guard<SpinLock> g(reg.lock);
+  SpinLockGuard g(reg.lock);
   return reg.sites[static_cast<int>(site)].evaluations;
 }
 
 uint64_t ScheduleHash() {
   internal::Registry& reg = internal::GetRegistry();
-  std::lock_guard<SpinLock> g(reg.lock);
+  SpinLockGuard g(reg.lock);
   return reg.schedule_hash;
 }
 

@@ -3,20 +3,26 @@
 
 #include <atomic>
 
+#include "common/thread_safety.h"
+
 namespace mv3c {
 
 /// Tiny test-and-test-and-set spin lock.
 ///
 /// Used for short critical sections (index shards, version-chain surgery)
 /// where a futex-based mutex would dominate the protected work. Satisfies
-/// the BasicLockable requirements so it composes with std::lock_guard.
-class SpinLock {
+/// the BasicLockable requirements so it composes with std::lock_guard, but
+/// annotated code must hold it through SpinLockGuard (below) so clang's
+/// thread-safety analysis sees the acquire/release pair; a structured lint
+/// rule (scripts/lint/no_bare_lock_guard.query) rejects bare
+/// std::lock_guard<SpinLock> in src/.
+class MV3C_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() MV3C_ACQUIRE() {
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
@@ -27,12 +33,33 @@ class SpinLock {
     }
   }
 
-  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  [[nodiscard]] bool try_lock() MV3C_TRY_ACQUIRE(true) {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() MV3C_RELEASE() { flag_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLock, visible to the thread-safety analysis
+/// (std::lock_guard is unannotated, so acquisitions through it are invisible
+/// to clang and silently weaken every MV3C_GUARDED_BY it should satisfy).
+/// Drop-in for the std::lock_guard<SpinLock> pattern:
+///
+///   SpinLockGuard g(lock_);
+class MV3C_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) MV3C_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+  ~SpinLockGuard() MV3C_RELEASE() { lock_.unlock(); }
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace mv3c

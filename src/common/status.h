@@ -4,11 +4,14 @@
 namespace mv3c {
 
 /// Outcome of executing one round of a transaction program body.
+/// [[nodiscard]]: silently dropping an engine status is how the PR 1
+/// workload-loader bug slipped in; every producer of these enums now
+/// requires the caller to consume (or explicitly void-cast) the result.
 ///
 /// The concurrency-control engines never use C++ exceptions; transaction
 /// program bodies report their fate through this enum and the engine reacts
 /// (commit attempt, rollback, restart, or repair).
-enum class ExecStatus {
+enum class [[nodiscard]] ExecStatus {
   /// The program body ran to completion; the transaction may attempt commit.
   kOk,
   /// The program requested a rollback (e.g. insufficient funds). The
@@ -22,7 +25,7 @@ enum class ExecStatus {
 
 /// Outcome of driving a transaction to completion (including restarts or
 /// repair rounds, depending on the engine).
-enum class TxnOutcome {
+enum class [[nodiscard]] TxnOutcome {
   /// Committed successfully.
   kCommitted,
   /// Rolled back on the program's own request; never restarted.
@@ -31,7 +34,7 @@ enum class TxnOutcome {
 
 /// Outcome of one executor step (one slice of work under a driver). Shared
 /// by all engines so that the threaded and window drivers are generic.
-enum class StepResult {
+enum class [[nodiscard]] StepResult {
   kCommitted,
   kUserAborted,
   /// The transaction needs another step: validation failed (repair or

@@ -1,0 +1,81 @@
+#ifndef MV3C_COMMON_THREAD_SAFETY_H_
+#define MV3C_COMMON_THREAD_SAFETY_H_
+
+/// Clang Thread Safety Analysis annotations (DESIGN §5e).
+///
+/// The MVCC substrate's correctness argument rests on a strict latch
+/// discipline: version-chain surgery, cuckoo buckets, ordered-index shards,
+/// the recently-committed list, and the arena slab lifecycle are each
+/// touched only under their designated SpinLock or via documented atomics.
+/// These macros turn that discipline from comments into compiler-checked
+/// capabilities: under clang, `-Wthread-safety -Werror=thread-safety-analysis`
+/// (added automatically by the top-level CMakeLists for clang builds and
+/// gated in CI by the static-analysis job) rejects any access to a
+/// `MV3C_GUARDED_BY(lock)` field without `lock` held, any call to a
+/// `MV3C_REQUIRES(lock)` function outside the lock, and any scope that
+/// leaks a capability.
+///
+/// Under gcc (which has no thread-safety analysis) every macro expands to
+/// nothing, so the annotations are zero-cost documentation there; the two
+/// compilers stay interchangeable and CI keeps both.
+///
+/// Naming follows the official clang capability vocabulary
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed MV3C_.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MV3C_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(MV3C_THREAD_ANNOTATION)
+#define MV3C_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lock) the analysis tracks by name.
+#define MV3C_CAPABILITY(x) MV3C_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (the annotated replacement for std::lock_guard<SpinLock>).
+#define MV3C_SCOPED_CAPABILITY MV3C_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define MV3C_GUARDED_BY(x) MV3C_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability
+/// (the pointer itself may be read freely).
+#define MV3C_PT_GUARDED_BY(x) MV3C_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and holds it on return.
+#define MV3C_ACQUIRE(...) MV3C_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define MV3C_RELEASE(...) MV3C_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; holds it iff it returned the
+/// given boolean value.
+#define MV3C_TRY_ACQUIRE(...) \
+  MV3C_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call.
+#define MV3C_REQUIRES(...) \
+  MV3C_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself;
+/// catches self-deadlock on the non-reentrant SpinLock).
+#define MV3C_EXCLUDES(...) MV3C_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a runtime assertion that the capability is held.
+#define MV3C_ASSERT_CAPABILITY(x) \
+  MV3C_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define MV3C_RETURN_CAPABILITY(x) MV3C_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for lock patterns the static analysis cannot express
+/// (dynamically chosen stripe locks, conditional second acquisitions).
+/// Every use must carry a comment saying what dynamic discipline applies
+/// and which test (typically the TSan chaos suite) covers it.
+#define MV3C_NO_THREAD_SAFETY_ANALYSIS \
+  MV3C_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // MV3C_COMMON_THREAD_SAFETY_H_

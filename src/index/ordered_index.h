@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 
 #include "common/macros.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 
 namespace mv3c {
 
@@ -49,9 +49,9 @@ class OrderedIndex {
   OrderedIndex& operator=(const OrderedIndex&) = delete;
 
   /// Inserts (key, value); returns false if the key already exists.
-  bool Insert(const K& key, const V& value) {
+  [[nodiscard]] bool Insert(const K& key, const V& value) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<SpinLock> g(shard.lock);
+    SpinLockGuard g(shard.lock);
     auto [it, inserted] = shard.map.emplace(key, value);
     if (inserted) shard.version.fetch_add(1, std::memory_order_release);
     return inserted;
@@ -60,16 +60,16 @@ class OrderedIndex {
   /// Removes `key`; returns true if it was present.
   bool Erase(const K& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<SpinLock> g(shard.lock);
+    SpinLockGuard g(shard.lock);
     const bool erased = shard.map.erase(key) > 0;
     if (erased) shard.version.fetch_add(1, std::memory_order_release);
     return erased;
   }
 
   /// Looks up `key`; returns true and fills `*out` if found.
-  bool Find(const K& key, V* out) const {
+  [[nodiscard]] bool Find(const K& key, V* out) const {
     const Shard& shard = ShardFor(key);
-    std::lock_guard<SpinLock> g(shard.lock);
+    SpinLockGuard g(shard.lock);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return false;
     *out = it->second;
@@ -83,7 +83,7 @@ class OrderedIndex {
   void ScanRange(const K& lo, const K& hi, Fn&& fn) const {
     MV3C_DCHECK(partition_(lo) == partition_(hi));
     const Shard& shard = ShardFor(lo);
-    std::lock_guard<SpinLock> g(shard.lock);
+    SpinLockGuard g(shard.lock);
     for (auto it = shard.map.lower_bound(lo);
          it != shard.map.end() && !(hi < it->first); ++it) {
       if (!fn(it->first, it->second)) break;
@@ -96,7 +96,7 @@ class OrderedIndex {
   void ScanRangeReverse(const K& lo, const K& hi, Fn&& fn) const {
     MV3C_DCHECK(partition_(lo) == partition_(hi));
     const Shard& shard = ShardFor(lo);
-    std::lock_guard<SpinLock> g(shard.lock);
+    SpinLockGuard g(shard.lock);
     auto it = shard.map.upper_bound(hi);
     while (it != shard.map.begin()) {
       --it;
@@ -120,7 +120,7 @@ class OrderedIndex {
   size_t Size() const {
     size_t n = 0;
     for (const Shard& s : shards_) {
-      std::lock_guard<SpinLock> g(s.lock);
+      SpinLockGuard g(s.lock);
       n += s.map.size();
     }
     return n;
@@ -129,7 +129,10 @@ class OrderedIndex {
  private:
   struct Shard {
     mutable SpinLock lock;
-    std::map<K, V> map;
+    /// Guarded: every structural read and write of the tree goes through
+    /// the shard lock; `version` stays an atomic because OCC/SILO read it
+    /// lock-free during validation.
+    std::map<K, V> map MV3C_GUARDED_BY(lock);
     std::atomic<uint64_t> version{0};
   };
 

@@ -185,6 +185,13 @@ class Mv3cExecutor {
     return r;
   }
 
+  /// Run() for callers that cannot tolerate failure (population loaders,
+  /// test fixtures): checks the transaction committed. [[nodiscard]] on
+  /// StepResult forces every other Run call site to consume its result.
+  void MustRun(Program program) {
+    MV3C_CHECK(Run(std::move(program)) == StepResult::kCommitted);
+  }
+
   /// Starvation backstop for drivers: abandons the in-flight transaction
   /// (rollback, leave the active table) and reports kExhausted.
   StepResult GiveUp() { return FinishExhausted(); }

@@ -2,11 +2,11 @@
 #define MV3C_MVCC_DATA_OBJECT_H_
 
 #include <atomic>
-#include <mutex>
 
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
 #include "mvcc/version_arena.h"
@@ -86,14 +86,14 @@ class DataObjectBase {
   /// and deletes carry a full mask, so key-level operations always
   /// conflict, preserving §2.3.1's fail-fast rule for them.
   PushResult Push(VersionBase* v, WwPolicy policy, Timestamp start_ts,
-                  Timestamp txn_id) {
+                  Timestamp txn_id) MV3C_EXCLUDES(chain_lock_) {
     if (MV3C_FAILPOINT(failpoint::Site::kVersionChainPush)) {
       // Injected spurious contention failure: indistinguishable from a
       // genuine write-write conflict, so the caller's rollback-and-restart
       // path handles it and serializability is unaffected.
       return PushResult::kWwConflict;
     }
-    std::lock_guard<SpinLock> g(chain_lock_);
+    SpinLockGuard g(chain_lock_);
     if (policy == WwPolicy::kFailFast) {
       for (VersionBase* cur = head(); cur != nullptr; cur = cur->next()) {
         const Timestamp t = cur->ts();
@@ -130,8 +130,8 @@ class DataObjectBase {
   /// pruning). `v`'s own next pointer is left intact for concurrent
   /// readers. The caller is responsible for retiring `v` to the garbage
   /// collector.
-  void Unlink(VersionBase* v) {
-    std::lock_guard<SpinLock> g(chain_lock_);
+  void Unlink(VersionBase* v) MV3C_EXCLUDES(chain_lock_) {
+    SpinLockGuard g(chain_lock_);
     UnlinkLocked(v);
   }
 
@@ -144,8 +144,9 @@ class DataObjectBase {
   /// and insert a duplicate" move. Returns the version that now carries the
   /// committed payload (`v` itself or the clone); when a clone was used the
   /// caller must retire `v`.
-  VersionBase* CommitVersion(VersionBase* v, Timestamp commit_ts) {
-    std::lock_guard<SpinLock> g(chain_lock_);
+  VersionBase* CommitVersion(VersionBase* v, Timestamp commit_ts)
+      MV3C_EXCLUDES(chain_lock_) {
+    SpinLockGuard g(chain_lock_);
     // A move is needed iff a live committed version sits above v: our
     // commit timestamp is the newest, so our version must become the head
     // of the committed suffix. Foreign uncommitted versions above v are
@@ -194,8 +195,9 @@ class DataObjectBase {
   /// and unlinks everything older. Invokes `retire(version)` for each cut
   /// version. Returns the number of versions cut.
   template <typename RetireFn>
-  size_t TruncateOlderThan(Timestamp watermark, RetireFn&& retire) {
-    std::lock_guard<SpinLock> g(chain_lock_);
+  size_t TruncateOlderThan(Timestamp watermark, RetireFn&& retire)
+      MV3C_EXCLUDES(chain_lock_) {
+    SpinLockGuard g(chain_lock_);
     // Find the newest committed version with ts < watermark: it is still
     // the visible version for the oldest active reader; everything
     // committed below it is unreachable. Uncommitted versions below it can
@@ -253,7 +255,7 @@ class DataObjectBase {
   }
 
  private:
-  void UnlinkLocked(VersionBase* v) {
+  void UnlinkLocked(VersionBase* v) MV3C_REQUIRES(chain_lock_) {
     VersionBase* prev = nullptr;
     VersionBase* cur = head();
     while (cur != nullptr && cur != v) {
@@ -269,6 +271,12 @@ class DataObjectBase {
     v->MarkDead();
   }
 
+  /// head_ stays an atomic, not MV3C_GUARDED_BY(chain_lock_): readers
+  /// traverse the chain lock-free (finding the visible version is
+  /// wait-free, §5); only chain *surgery* — every store to head_ and to
+  /// version next pointers — runs under chain_lock_. The REQUIRES on
+  /// UnlinkLocked and the EXCLUDES on the surgery entry points are the
+  /// statically-checkable half of that protocol.
   std::atomic<VersionBase*> head_{nullptr};
   SpinLock chain_lock_;
   std::atomic<uint32_t> approx_chain_len_{0};

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/failpoint.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/version.h"
 #include "mvcc/version_arena.h"
@@ -45,13 +45,13 @@ class GarbageCollector {
   GarbageCollector& operator=(const GarbageCollector&) = delete;
   ~GarbageCollector() { CollectAll(); }
 
-  void RetireVersion(VersionBase* v, Timestamp era) {
-    std::lock_guard<SpinLock> g(lock_);
+  void RetireVersion(VersionBase* v, Timestamp era) MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
     versions_.push_back({era, v});
   }
 
-  void RetireRecord(CommittedRecord* r, Timestamp era) {
-    std::lock_guard<SpinLock> g(lock_);
+  void RetireRecord(CommittedRecord* r, Timestamp era) MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
     records_.push_back({era, r});
   }
 
@@ -75,14 +75,14 @@ class GarbageCollector {
   size_t CollectAll() { return CollectImpl(kDeadVersion); }
 
   /// Number of nodes awaiting reclamation; test/metrics helper.
-  size_t PendingCount() const {
-    std::lock_guard<SpinLock> g(lock_);
+  size_t PendingCount() const MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
     return versions_.size() + records_.size();
   }
 
  private:
-  size_t CollectImpl(Timestamp safe_before) {
-    std::lock_guard<SpinLock> g(lock_);
+  size_t CollectImpl(Timestamp safe_before) MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
     size_t freed = 0;
     while (!versions_.empty() && versions_.front().era < safe_before) {
       // Destructor now, slab memory when the whole slab drains: freeing a
@@ -110,8 +110,8 @@ class GarbageCollector {
   };
 
   mutable SpinLock lock_;
-  std::deque<RetiredVersion> versions_;
-  std::deque<RetiredRecord> records_;
+  std::deque<RetiredVersion> versions_ MV3C_GUARDED_BY(lock_);
+  std::deque<RetiredRecord> records_ MV3C_GUARDED_BY(lock_);
 };
 
 }  // namespace mv3c

@@ -2,10 +2,11 @@
 #define MV3C_MVCC_TABLE_H_
 
 #include <deque>
-#include <mutex>
 #include <string>
 
+#include "common/macros.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 #include "index/cuckoo_map.h"
 #include "mvcc/data_object.h"
 #include "mvcc/version.h"
@@ -56,7 +57,7 @@ class Table : public TableBase {
   /// was ever inserted.
   Object* Find(const K& key) const {
     Object* obj = nullptr;
-    index_.Find(key, &obj);
+    (void)index_.Find(key, &obj);  // miss leaves obj nullptr, the signal
     return obj;
   }
 
@@ -69,7 +70,7 @@ class Table : public TableBase {
     if (index_.Insert(key, fresh)) return fresh;
     // Lost the race; the winner's object is authoritative. The loser stays
     // in the arena unused (objects are arena-owned and cheap).
-    index_.Find(key, &obj);
+    MV3C_CHECK(index_.Find(key, &obj));
     return obj;
   }
 
@@ -88,20 +89,20 @@ class Table : public TableBase {
   /// hanging off the chains live in the manager's VersionArena, whose
   /// held_bytes covers them). Reported by bench/overhead_memory.
   size_t ApproxObjectBytes() const {
-    std::lock_guard<SpinLock> g(arena_lock_);
+    SpinLockGuard g(arena_lock_);
     return arena_.size() * sizeof(Object);
   }
 
  private:
   Object* Allocate(const K& key) {
-    std::lock_guard<SpinLock> g(arena_lock_);
+    SpinLockGuard g(arena_lock_);
     arena_.emplace_back(key);
     return &arena_.back();
   }
 
   CuckooMap<K, Object*> index_;
   mutable SpinLock arena_lock_;
-  std::deque<Object> arena_;
+  std::deque<Object> arena_ MV3C_GUARDED_BY(arena_lock_);
 };
 
 }  // namespace mv3c

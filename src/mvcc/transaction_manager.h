@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 #include "mvcc/gc.h"
 #include "mvcc/timestamp.h"
 #include "mvcc/transaction.h"
@@ -57,9 +57,9 @@ class TransactionManager {
 
   /// Starts `t`: draws a start timestamp and a transaction id, registers
   /// the transaction in the active table.
-  void Begin(Transaction* t) {
+  void Begin(Transaction* t) MV3C_EXCLUDES(commit_lock_) {
     const Timestamp id = txn_id_seq_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<SpinLock> g(commit_lock_);
+    SpinLockGuard g(commit_lock_);
     // The timestamp sequence only advances under the commit lock, so the
     // value read here is the start timestamp the fetch_add below returns.
     // Registering the slot *before* bumping the sequence guarantees that a
@@ -108,9 +108,10 @@ class TransactionManager {
   /// active with a fresh start timestamp (drawn in the critical section,
   /// §2.5) and the caller runs repair/restart outside.
   template <typename RevalidateFn>
-  bool TryCommit(Transaction* t, RevalidateFn&& revalidate,
-                 Timestamp* commit_ts_out = nullptr) {
-    std::lock_guard<SpinLock> g(commit_lock_);
+  [[nodiscard]] bool TryCommit(Transaction* t, RevalidateFn&& revalidate,
+                               Timestamp* commit_ts_out = nullptr)
+      MV3C_EXCLUDES(commit_lock_) {
+    SpinLockGuard g(commit_lock_);
     CommittedRecord* head = rc_head();
     const bool valid = revalidate(head);
     if (head != nullptr) t->set_validated_up_to(head->commit_ts);
@@ -139,8 +140,9 @@ class TransactionManager {
   template <typename RevalidateFn, typename RepairFn>
   ExecStatus TryCommitExclusive(Transaction* t, RevalidateFn&& revalidate,
                                 RepairFn&& repair,
-                                Timestamp* commit_ts_out = nullptr) {
-    std::lock_guard<SpinLock> g(commit_lock_);
+                                Timestamp* commit_ts_out = nullptr)
+      MV3C_EXCLUDES(commit_lock_) {
+    SpinLockGuard g(commit_lock_);
     CommittedRecord* head = rc_head();
     const bool valid = revalidate(head);
     if (head != nullptr) t->set_validated_up_to(head->commit_ts);
@@ -163,12 +165,12 @@ class TransactionManager {
   /// Draws a fresh start timestamp for a transaction staying in the
   /// repair path (validation failed during pre-validation, outside the
   /// commit critical section). Keeps the validation watermark.
-  void Retimestamp(Transaction* t) {
+  void Retimestamp(Transaction* t) MV3C_EXCLUDES(commit_lock_) {
     // Delay/yield injection point: widens the window between a failed
     // pre-validation and the repair round so concurrent commits can slip
     // in (the repeated-invalidation schedule the chaos tests force).
     (void)MV3C_FAILPOINT(failpoint::Site::kRetimestamp);
-    std::lock_guard<SpinLock> g(commit_lock_);
+    SpinLockGuard g(commit_lock_);
     RetimestampLocked(t);
   }
 
@@ -183,8 +185,8 @@ class TransactionManager {
   /// Draws a fresh start timestamp for a transaction that rolled back its
   /// writes and restarts from scratch (user-abort-free restart paths:
   /// fail-fast write-write conflicts, OMVCC validation failure).
-  void Restart(Transaction* t) {
-    std::lock_guard<SpinLock> g(commit_lock_);
+  void Restart(Transaction* t) MV3C_EXCLUDES(commit_lock_) {
+    SpinLockGuard g(commit_lock_);
     RetimestampLocked(t);
     t->ResetValidationWatermark();
   }
@@ -257,7 +259,7 @@ class TransactionManager {
 
   /// Draws a fresh start timestamp; caller holds commit_lock_. The slot is
   /// updated before the sequence advances (see Begin for why).
-  void RetimestampLocked(Transaction* t) {
+  void RetimestampLocked(Transaction* t) MV3C_REQUIRES(commit_lock_) {
     const Timestamp fresh = ts_seq_.load(std::memory_order_relaxed);
     active_[t->slot()].start.store(fresh, std::memory_order_release);
     ts_seq_.fetch_add(1, std::memory_order_seq_cst);
@@ -284,8 +286,9 @@ class TransactionManager {
 
   /// Unlinks RC records whose commit timestamp is below `watermark` (no
   /// active transaction can need them for validation) and retires them.
-  void TrimRecentlyCommitted(Timestamp watermark) {
-    std::lock_guard<SpinLock> g(commit_lock_);
+  void TrimRecentlyCommitted(Timestamp watermark)
+      MV3C_EXCLUDES(commit_lock_) {
+    SpinLockGuard g(commit_lock_);
     CommittedRecord* prev = nullptr;
     CommittedRecord* cur = rc_head();
     while (cur != nullptr && cur->commit_ts >= watermark) {
@@ -309,6 +312,12 @@ class TransactionManager {
   alignas(MV3C_CACHELINE_SIZE) std::atomic<Timestamp> ts_seq_{1};
   alignas(MV3C_CACHELINE_SIZE) std::atomic<Timestamp> txn_id_seq_{
       kTxnIdBase + 1};
+  /// rc_head_ stays an atomic, not MV3C_GUARDED_BY(commit_lock_): readers
+  /// (pre-validation, ForEachConcurrentVersion) chase it lock-free; every
+  /// *store* happens with commit_lock_ held (TryCommit/TryCommitExclusive
+  /// publication, TrimRecentlyCommitted unlinking). The same split covers
+  /// ts_seq_ — it only advances under commit_lock_ (the §2.5 short critical
+  /// section) but is read lock-free by CurrentEra and the GC watermark.
   alignas(MV3C_CACHELINE_SIZE) std::atomic<CommittedRecord*> rc_head_{nullptr};
   SpinLock commit_lock_;
   std::atomic<uint32_t> slot_hint_{0};

@@ -42,14 +42,14 @@ VersionArena::~VersionArena() {
   // already-drained current slab retires here, and any slab still holding
   // live objects is left with live == exactly its leak count.
   for (ThreadSlot& slot : slots_) {
-    std::lock_guard<SpinLock> g(slot.lock);
+    SpinLockGuard g(slot.lock);
     if (slot.current != nullptr) {
       SealSlab(slot.current);
       slot.current = nullptr;
     }
   }
   DrainDeferred();
-  std::lock_guard<SpinLock> g(slabs_lock_);
+  SpinLockGuard g(slabs_lock_);
   // By construction the arena outlives every table and the GC that allocate
   // from it (it is destroyed with the TransactionManager, after the tables'
   // chains and the GC deques have run their destructors), so every object
@@ -84,7 +84,7 @@ Slab* VersionArena::NewSlab(size_t total_bytes, bool oversize) {
   slab->capacity = static_cast<uint32_t>(total_bytes - kSlabHeaderBytes);
   slab->oversize = oversize;
   {
-    std::lock_guard<SpinLock> g(slabs_lock_);
+    SpinLockGuard g(slabs_lock_);
     all_.push_back(slab);
   }
   slabs_created_.fetch_add(1, std::memory_order_relaxed);
@@ -97,14 +97,14 @@ Slab* VersionArena::NewSlab(size_t total_bytes, bool oversize) {
 }
 
 uint64_t VersionArena::LiveSlabCount() const {
-  std::lock_guard<SpinLock> g(slabs_lock_);
+  SpinLockGuard g(slabs_lock_);
   return all_.size();
 }
 
 Slab* VersionArena::TakeSlab() {
   Slab* slab = nullptr;
   {
-    std::lock_guard<SpinLock> g(slabs_lock_);
+    SpinLockGuard g(slabs_lock_);
     if (!freelist_.empty()) {
       slab = freelist_.back();
       freelist_.pop_back();
@@ -133,7 +133,7 @@ void* VersionArena::AllocateRaw(size_t bytes) {
   if (MV3C_UNLIKELY(need > kSlabPayloadBytes)) return AllocateOversize(need);
 
   ThreadSlot& slot = slots_[ThreadSlotIndex()];
-  std::lock_guard<SpinLock> g(slot.lock);
+  SpinLockGuard g(slot.lock);
   Slab* slab = slot.current;
   if (slab == nullptr || slab->bump + need > slab->capacity) {
     if (slab != nullptr) SealSlab(slab);
@@ -216,11 +216,11 @@ void VersionArena::RetireSlab(Slab* slab) {
     // deferred list instead of recycling, stressing the drain paths
     // (DrainDeferred, the next retirement, teardown).
     owner->retirements_deferred_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<SpinLock> g(owner->slabs_lock_);
+    SpinLockGuard g(owner->slabs_lock_);
     owner->deferred_.push_back(slab);
     return;
   }
-  std::lock_guard<SpinLock> g(owner->slabs_lock_);
+  SpinLockGuard g(owner->slabs_lock_);
   owner->RecycleOrFreeLocked(slab);
   // A retirement doubles as a drain point for previously deferred slabs, so
   // a chaos schedule cannot strand them until teardown.
@@ -259,11 +259,11 @@ void VersionArena::FreeSlabLocked(Slab* slab) {
 size_t VersionArena::DrainDeferred() {
   std::vector<Slab*> parked;
   {
-    std::lock_guard<SpinLock> g(slabs_lock_);
+    SpinLockGuard g(slabs_lock_);
     parked.swap(deferred_);
   }
   for (Slab* slab : parked) {
-    std::lock_guard<SpinLock> g(slabs_lock_);
+    SpinLockGuard g(slabs_lock_);
     RecycleOrFreeLocked(slab);
   }
   return parked.size();
@@ -284,7 +284,7 @@ VersionArena::Stats VersionArena::snapshot() const {
   s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
   s.held_bytes = held_bytes_.load(std::memory_order_relaxed);
   s.peak_held_bytes = peak_held_bytes_.load(std::memory_order_relaxed);
-  std::lock_guard<SpinLock> g(slabs_lock_);
+  SpinLockGuard g(slabs_lock_);
   s.slabs_live = all_.size();
   s.deferred_slabs = deferred_.size();
   s.freelist_slabs = freelist_.size();

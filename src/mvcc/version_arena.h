@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "common/failpoint.h"
 #include "common/macros.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 
 // ASan manual poisoning: freed arena ranges are poisoned so a double free
 // (second destructor call) or a use-after-reclaim reports immediately under
@@ -212,9 +212,9 @@ class VersionArena {
   /// failpoint. Called by TransactionManager::CollectGarbage so the chaos
   /// suite's "backlog drains once injection stops" invariant covers slab
   /// retirement too. Returns the number of slabs drained.
-  size_t DrainDeferred();
+  size_t DrainDeferred() MV3C_EXCLUDES(slabs_lock_);
 
-  Stats snapshot() const;
+  Stats snapshot() const MV3C_EXCLUDES(slabs_lock_);
 
   /// Optional registry for the kArenaRetire phase histogram (set by the
   /// owning TransactionManager; null is fine — timers tolerate it). The
@@ -224,7 +224,11 @@ class VersionArena {
  private:
   struct alignas(MV3C_CACHELINE_SIZE) ThreadSlot {
     SpinLock lock;
-    arena_internal::Slab* current = nullptr;
+    /// The slot's bump target. The lock also covers `current->bump`: a
+    /// slab's bump offset is written only by the slot that owns the slab
+    /// as its current target (Slab::bump cannot carry a MV3C_GUARDED_BY —
+    /// which slot lock guards it is a runtime property).
+    arena_internal::Slab* current MV3C_GUARDED_BY(lock) = nullptr;
   };
 
   /// Allocated extent of an object: the most-derived size when the type
@@ -258,25 +262,27 @@ class VersionArena {
 
   static uint32_t ThreadSlotIndex();
 
-  void* AllocateRaw(size_t bytes);
-  void* AllocateOversize(size_t bytes);
+  void* AllocateRaw(size_t bytes) MV3C_EXCLUDES(slabs_lock_);
+  void* AllocateOversize(size_t bytes) MV3C_EXCLUDES(slabs_lock_);
   static void ReleaseObject(arena_internal::Slab* slab);
-  uint64_t LiveSlabCount() const;
+  uint64_t LiveSlabCount() const MV3C_EXCLUDES(slabs_lock_);
 
   void SealSlab(arena_internal::Slab* slab);
   static void RetireSlab(arena_internal::Slab* slab);
-  void RecycleOrFreeLocked(arena_internal::Slab* slab);
-  void FreeSlabLocked(arena_internal::Slab* slab);
-  arena_internal::Slab* TakeSlab();
-  arena_internal::Slab* NewSlab(size_t total_bytes, bool oversize);
+  void RecycleOrFreeLocked(arena_internal::Slab* slab)
+      MV3C_REQUIRES(slabs_lock_);
+  void FreeSlabLocked(arena_internal::Slab* slab) MV3C_REQUIRES(slabs_lock_);
+  arena_internal::Slab* TakeSlab() MV3C_EXCLUDES(slabs_lock_);
+  arena_internal::Slab* NewSlab(size_t total_bytes, bool oversize)
+      MV3C_EXCLUDES(slabs_lock_);
 
   ThreadSlot slots_[kThreadSlots];
   obs::MetricsRegistry* metrics_ = nullptr;
 
-  mutable SpinLock slabs_lock_;  // guards freelist_, all_, deferred_
-  std::vector<arena_internal::Slab*> freelist_;
-  std::vector<arena_internal::Slab*> all_;
-  std::vector<arena_internal::Slab*> deferred_;
+  mutable SpinLock slabs_lock_;
+  std::vector<arena_internal::Slab*> freelist_ MV3C_GUARDED_BY(slabs_lock_);
+  std::vector<arena_internal::Slab*> all_ MV3C_GUARDED_BY(slabs_lock_);
+  std::vector<arena_internal::Slab*> deferred_ MV3C_GUARDED_BY(slabs_lock_);
 
   std::atomic<uint64_t> slabs_created_{0};
   std::atomic<uint64_t> peak_slabs_live_{0};

@@ -352,7 +352,7 @@ class MetricsRegistry {
 #if defined(MV3C_OBS_ENABLED)
   void RecordPhase(Phase p, uint64_t ticks) {
     if (sync_ == RecordSync::kSynchronized) {
-      std::lock_guard<SpinLock> g(lock_);
+      SpinLockGuard g(lock_);
       hist_[static_cast<int>(p)].Record(ticks);
     } else {
       hist_[static_cast<int>(p)].Record(ticks);
@@ -369,7 +369,7 @@ class MetricsRegistry {
       s.counters.push_back({c.name, *c.field, c.kind});
     }
 #if defined(MV3C_OBS_ENABLED)
-    std::lock_guard<SpinLock> g(lock_);
+    SpinLockGuard g(lock_);
     for (int i = 0; i < kNumPhases; ++i) s.phases[i] = hist_[i].Snapshot();
 #endif
     return s;
@@ -386,6 +386,11 @@ class MetricsRegistry {
 #if defined(MV3C_OBS_ENABLED)
   RecordSync sync_;
   mutable SpinLock lock_;
+  /// Deliberately NOT MV3C_GUARDED_BY(lock_): whether the lock covers the
+  /// histograms is the RecordSync policy chosen at construction — executor
+  /// registries are single-threaded and record lock-free (DESIGN §5d), the
+  /// manager's registry synchronizes. A conditional capability is outside
+  /// the static model; the TSan jobs cover the lock-free contract.
   LatencyHistogram hist_[kNumPhases];
 #endif
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/macros.h"
 #include "common/retry_policy.h"
 #include "common/status.h"
 #include "mvcc/predicate.h"
@@ -286,6 +287,13 @@ class OmvccExecutor {
       r = Step();
     } while (r == StepResult::kNeedsRetry);
     return r;
+  }
+
+  /// Run() for callers that cannot tolerate failure (population loaders,
+  /// test fixtures): checks the transaction committed. [[nodiscard]] on
+  /// StepResult forces every other Run call site to consume its result.
+  void MustRun(Program program) {
+    MV3C_CHECK(Run(std::move(program)) == StepResult::kCommitted);
   }
 
   /// Starvation backstop for drivers: abandons the in-flight transaction.

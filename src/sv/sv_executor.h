@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/macros.h"
 #include "common/retry_policy.h"
 #include "common/status.h"
 #include "obs/engine_stats.h"  // SvStats (migrated to the obs layer)
@@ -100,6 +101,13 @@ class SvExecutor {
       r = Step();
     } while (r == StepResult::kNeedsRetry);
     return r;
+  }
+
+  /// Run() for callers that cannot tolerate failure (population loaders,
+  /// test fixtures): checks the transaction committed. [[nodiscard]] on
+  /// StepResult forces every other Run call site to consume its result.
+  void MustRun(Program program) {
+    MV3C_CHECK(Run(std::move(program)) == StepResult::kCommitted);
   }
 
   /// Starvation backstop for drivers: abandons the in-flight transaction.

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <type_traits>
 
+#include "common/macros.h"
 #include "common/spinlock.h"
+#include "common/thread_safety.h"
 #include "index/cuckoo_map.h"
 
 namespace mv3c {
@@ -72,7 +73,7 @@ class SvTable {
 
   Rec* Find(const K& key) const {
     Rec* r = nullptr;
-    index_.Find(key, &r);
+    (void)index_.Find(key, &r);  // miss leaves r nullptr, the signal
     return r;
   }
 
@@ -82,7 +83,7 @@ class SvTable {
     if (r != nullptr) return r;
     Rec* fresh = Allocate();
     if (index_.Insert(key, fresh)) return fresh;
-    index_.Find(key, &r);
+    MV3C_CHECK(index_.Find(key, &r));  // insert loser: winner must exist
     return r;
   }
 
@@ -99,13 +100,13 @@ class SvTable {
   /// Approximate record-arena footprint; the single-version counterpart of
   /// VersionArena's held_bytes, reported by bench/overhead_memory.
   size_t ApproxArenaBytes() const {
-    std::lock_guard<SpinLock> g(arena_lock_);
+    SpinLockGuard g(arena_lock_);
     return arena_.size() * sizeof(Rec);
   }
 
  private:
   Rec* Allocate() {
-    std::lock_guard<SpinLock> g(arena_lock_);
+    SpinLockGuard g(arena_lock_);
     arena_.emplace_back();
     return &arena_.back();
   }
@@ -113,7 +114,7 @@ class SvTable {
   std::string name_;
   CuckooMap<K, Rec*> index_;
   mutable SpinLock arena_lock_;
-  std::deque<Rec> arena_;
+  std::deque<Rec> arena_ MV3C_GUARDED_BY(arena_lock_);
 };
 
 }  // namespace sv

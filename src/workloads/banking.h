@@ -51,7 +51,7 @@ class BankingDb {
   /// leave an account without its initial version.
   void Load() {
     Mv3cExecutor loader(mgr_);
-    loader.Run([this](Mv3cTransaction& t) {
+    loader.MustRun([this](Mv3cTransaction& t) {
       for (int64_t id = 0; id <= n_accounts_; ++id) {
         const WriteStatus ws = t.InsertRow(
             accounts, id,
@@ -66,7 +66,7 @@ class BankingDb {
   int64_t TotalBalance() {
     int64_t total = 0;
     Mv3cExecutor e(mgr_);
-    e.Run([&](Mv3cTransaction& t) {
+    e.MustRun([&](Mv3cTransaction& t) {
       return t.Scan(
           accounts, [](const AccountRow&) { return true; }, kBalanceMask,
           false,
@@ -83,7 +83,7 @@ class BankingDb {
   int64_t BalanceOf(int64_t id) {
     int64_t out = -1;
     Mv3cExecutor e(mgr_);
-    e.Run([&](Mv3cTransaction& t) {
+    e.MustRun([&](Mv3cTransaction& t) {
       return t.Lookup(accounts, id, kBalanceMask,
                       [&out](Mv3cTransaction&, AccountTable::Object*,
                              const AccountRow* row) {

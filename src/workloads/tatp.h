@@ -134,7 +134,7 @@ class TatpDb {
     Xoshiro256 rng(seed);
     Mv3cExecutor loader(mgr_);
     for (uint64_t base = 0; base < n_; base += 2048) {
-      loader.Run([&](Mv3cTransaction& t) {
+      loader.MustRun([&](Mv3cTransaction& t) {
         const uint64_t end = std::min(n_, base + 2048);
         for (uint64_t s = base; s < end; ++s) {
           SubscriberRow row;

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <string>
 
+#include "common/macros.h"
+
 namespace mv3c::tpcc {
 
 namespace {
@@ -34,7 +36,7 @@ void TpccDb::Load(uint64_t seed) {
 
   // ITEM: shared across warehouses.
   for (uint64_t base = 1; base <= s.n_items; base += 4096) {
-    loader.Run([&](Mv3cTransaction& t) {
+    loader.MustRun([&](Mv3cTransaction& t) {
       const uint64_t end = std::min(s.n_items, base + 4095);
       for (uint64_t i = base; i <= end; ++i) {
         ItemRow row;
@@ -48,7 +50,7 @@ void TpccDb::Load(uint64_t seed) {
 
   if (dbg) std::fprintf(stderr, "[load] items done\n");
   for (uint64_t w = 1; w <= s.n_warehouses; ++w) {
-    loader.Run([&](Mv3cTransaction& t) {
+    loader.MustRun([&](Mv3cTransaction& t) {
       WarehouseRow wr;
       wr.tax = static_cast<int32_t>(rng.NextBounded(2001));
       wr.ytd = 30000000;  // 300,000.00
@@ -57,7 +59,7 @@ void TpccDb::Load(uint64_t seed) {
     });
     // STOCK.
     for (uint64_t base = 1; base <= s.n_items; base += 2048) {
-      loader.Run([&](Mv3cTransaction& t) {
+      loader.MustRun([&](Mv3cTransaction& t) {
         const uint64_t end = std::min(s.n_items, base + 2047);
         for (uint64_t i = base; i <= end; ++i) {
           StockRow row;
@@ -70,7 +72,7 @@ void TpccDb::Load(uint64_t seed) {
     if (dbg) std::fprintf(stderr, "[load] stock done w=%llu\n", (unsigned long long)w);
     for (uint64_t d = 1; d <= s.n_districts; ++d) {
       if (dbg) std::fprintf(stderr, "[load] district %llu\n", (unsigned long long)d);
-      loader.Run([&](Mv3cTransaction& t) {
+      loader.MustRun([&](Mv3cTransaction& t) {
         DistrictRow dr;
         dr.tax = static_cast<int32_t>(rng.NextBounded(2001));
         dr.ytd = 3000000;  // 30,000.00
@@ -80,7 +82,7 @@ void TpccDb::Load(uint64_t seed) {
       });
       // CUSTOMER + HISTORY.
       for (uint64_t base = 1; base <= s.n_customers_per_d; base += 1024) {
-        loader.Run([&](Mv3cTransaction& t) {
+        loader.MustRun([&](Mv3cTransaction& t) {
           const uint64_t end = std::min(s.n_customers_per_d, base + 1023);
           for (uint64_t c = base; c <= end; ++c) {
             CustomerRow row;
@@ -94,9 +96,9 @@ void TpccDb::Load(uint64_t seed) {
             row.bad_credit = rng.NextBounded(100) < 10;
             const uint64_t key = CustomerKey(w, d, c);
             t.InsertRow(customers, key, row);
-            customers_by_name.Insert(
+            MV3C_CHECK(customers_by_name.Insert(
                 {DistrictKey(w, d), row.last_name_id, key},
-                customers.Find(key));
+                customers.Find(key)));
             HistoryRow h;
             h.c_key = key;
             h.d_key = DistrictKey(w, d);
@@ -116,7 +118,7 @@ void TpccDb::Load(uint64_t seed) {
       if (dbg) std::fprintf(stderr, "[load] customers done d=%llu\n", (unsigned long long)d);
       for (uint64_t base = 1; base <= s.preload_orders_per_d; base += 256) {
         if (dbg) std::fprintf(stderr, "[load] orders base=%llu\n", (unsigned long long)base);
-        loader.Run([&](Mv3cTransaction& t) {
+        loader.MustRun([&](Mv3cTransaction& t) {
           const uint64_t end = std::min(s.preload_orders_per_d, base + 255);
           for (uint64_t o = base; o <= end; ++o) {
             const bool delivered =
@@ -131,8 +133,8 @@ void TpccDb::Load(uint64_t seed) {
                           : -1;
             const uint64_t okey = OrderKey(w, d, o);
             t.InsertRow(orders, okey, orow);
-            orders_by_customer.Insert(CustomerOrderKey(w, d, c, o),
-                                      orders.Find(okey));
+            MV3C_CHECK(orders_by_customer.Insert(CustomerOrderKey(w, d, c, o),
+                                                 orders.Find(okey)));
             for (uint8_t ol = 1; ol <= orow.ol_cnt; ++ol) {
               OrderLineRow lrow;
               lrow.i_id = 1 + rng.NextBounded(s.n_items);
@@ -145,11 +147,12 @@ void TpccDb::Load(uint64_t seed) {
                                                    rng.NextBounded(999999));
               const uint64_t lkey = OrderLineKey(w, d, o, ol);
               t.InsertRow(order_lines, lkey, lrow);
-              order_lines_by_district.Insert(lkey, order_lines.Find(lkey));
+              MV3C_CHECK(order_lines_by_district.Insert(
+                  lkey, order_lines.Find(lkey)));
             }
             if (!delivered) {
               t.InsertRow(new_orders, okey, NewOrderRow{});
-              new_order_queue.Insert(okey, new_orders.Find(okey));
+              MV3C_CHECK(new_order_queue.Insert(okey, new_orders.Find(okey)));
             }
           }
           return ExecStatus::kOk;
@@ -326,7 +329,9 @@ ExecStatus Mv3cNewOrderBody(Mv3cTransaction& t, TpccDb& db,
                         WriteStatus::kOk) {
                       return ExecStatus::kWriteWriteConflict;
                     }
-                    db.orders_by_customer.Insert(
+                    // Duplicate is expected on a repair round: the same
+                    // o_id re-inserts the same arena-stable object.
+                    (void)db.orders_by_customer.Insert(
                         CustomerOrderKey(p->w_id, p->d_id, p->c_id, o_id),
                         oobj);
                     NewOrderTable::Object* nobj = nullptr;
@@ -334,7 +339,7 @@ ExecStatus Mv3cNewOrderBody(Mv3cTransaction& t, TpccDb& db,
                                     &nobj) != WriteStatus::kOk) {
                       return ExecStatus::kWriteWriteConflict;
                     }
-                    db.new_order_queue.Insert(okey, nobj);
+                    (void)db.new_order_queue.Insert(okey, nobj);
                     for (uint8_t i = 0; i < p->ol_cnt; ++i) {
                       const uint8_t ol_number = i;
                       st = t.Lookup(
@@ -395,8 +400,8 @@ ExecStatus Mv3cNewOrderBody(Mv3cTransaction& t, TpccDb& db,
                                       WriteStatus::kOk) {
                                     return ExecStatus::kWriteWriteConflict;
                                   }
-                                  db.order_lines_by_district.Insert(lkey,
-                                                                    lobj);
+                                  (void)db.order_lines_by_district.Insert(
+                                      lkey, lobj);
                                   return ExecStatus::kOk;
                                 });
                           });
@@ -731,14 +736,16 @@ OmvccExecutor::Program OmvccNewOrder(TpccDb& db, const TpccParams& p) {
     if (t.InsertRow(db.orders, okey, orow, &oobj) != WriteStatus::kOk) {
       return ExecStatus::kWriteWriteConflict;
     }
-    db.orders_by_customer.Insert(
+    // Duplicate is expected on a repair/restart round: the same o_id
+    // re-inserts the same arena-stable object.
+    (void)db.orders_by_customer.Insert(
         CustomerOrderKey(p.w_id, p.d_id, p.c_id, o_id), oobj);
     NewOrderTable::Object* nobj = nullptr;
     if (t.InsertRow(db.new_orders, okey, NewOrderRow{}, &nobj) !=
         WriteStatus::kOk) {
       return ExecStatus::kWriteWriteConflict;
     }
-    db.new_order_queue.Insert(okey, nobj);
+    (void)db.new_order_queue.Insert(okey, nobj);
     for (uint8_t i = 0; i < p.ol_cnt; ++i) {
       const NewOrderItem it = p.items[i];
       auto item = t.Get(db.items, it.i_id, kAllCols);
@@ -772,7 +779,7 @@ OmvccExecutor::Program OmvccNewOrder(TpccDb& db, const TpccParams& p) {
       if (t.InsertRow(db.order_lines, lkey, ol, &lobj) != WriteStatus::kOk) {
         return ExecStatus::kWriteWriteConflict;
       }
-      db.order_lines_by_district.Insert(lkey, lobj);
+      (void)db.order_lines_by_district.Insert(lkey, lobj);
     }
     return ExecStatus::kOk;
   };

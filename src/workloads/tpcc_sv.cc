@@ -4,6 +4,8 @@
 #include <numeric>
 #include <string>
 
+#include "common/macros.h"
+
 namespace mv3c::tpcc {
 
 // ---------------------------------------------------------------------------
@@ -45,8 +47,8 @@ void SvTpccDb::Load(uint64_t seed) {
         row.bad_credit = rng.NextBounded(100) < 10;
         const uint64_t key = CustomerKey(w, d, c);
         customers.LoadRow(key, row);
-        customers_by_name.Insert({DistrictKey(w, d), row.last_name_id, key},
-                                 customers.Find(key));
+        MV3C_CHECK(customers_by_name.Insert(
+            {DistrictKey(w, d), row.last_name_id, key}, customers.Find(key)));
         HistoryRow h;
         h.c_key = key;
         h.d_key = DistrictKey(w, d);
@@ -70,8 +72,8 @@ void SvTpccDb::Load(uint64_t seed) {
             delivered ? static_cast<int32_t>(1 + rng.NextBounded(10)) : -1;
         const uint64_t okey = OrderKey(w, d, o);
         orders.LoadRow(okey, orow);
-        orders_by_customer.Insert(CustomerOrderKey(w, d, c, o),
-                                  orders.Find(okey));
+        MV3C_CHECK(orders_by_customer.Insert(CustomerOrderKey(w, d, c, o),
+                                             orders.Find(okey)));
         for (uint8_t ol = 1; ol <= orow.ol_cnt; ++ol) {
           OrderLineRow lrow;
           lrow.i_id = 1 + rng.NextBounded(s.n_items);
@@ -83,11 +85,12 @@ void SvTpccDb::Load(uint64_t seed) {
                         : static_cast<int64_t>(1 + rng.NextBounded(999999));
           const uint64_t lkey = OrderLineKey(w, d, o, ol);
           order_lines.LoadRow(lkey, lrow);
-          order_lines_by_district.Insert(lkey, order_lines.Find(lkey));
+          MV3C_CHECK(
+              order_lines_by_district.Insert(lkey, order_lines.Find(lkey)));
         }
         if (!delivered) {
           new_orders.LoadRow(okey, NewOrderRow{});
-          new_order_queue.Insert(okey, new_orders.Find(okey));
+          MV3C_CHECK(new_order_queue.Insert(okey, new_orders.Find(okey)));
         }
       }
     }
@@ -158,9 +161,11 @@ ExecStatus SvNewOrder(Txn& t, SvTpccDb& db, const TpccParams& p) {
     return ExecStatus::kUserAbort;
   }
   t.OnInstall([&db, p, o_id, okey, orec, nrec] {
-    db.orders_by_customer.Insert(
-        CustomerOrderKey(p.w_id, p.d_id, p.c_id, o_id), orec);
-    db.new_order_queue.Insert(okey, nrec);
+    // Install hooks run exactly once at commit; o_id is fresh this txn, so
+    // the secondary-index inserts must win.
+    MV3C_CHECK(db.orders_by_customer.Insert(
+        CustomerOrderKey(p.w_id, p.d_id, p.c_id, o_id), orec));
+    MV3C_CHECK(db.new_order_queue.Insert(okey, nrec));
   });
 
   for (uint8_t i = 0; i < p.ol_cnt; ++i) {
@@ -197,8 +202,9 @@ ExecStatus SvNewOrder(Txn& t, SvTpccDb& db, const TpccParams& p) {
     if (!t.Insert(db.order_lines, lkey, ol, &lrec)) {
       return ExecStatus::kUserAbort;
     }
-    t.OnInstall(
-        [&db, lkey, lrec] { db.order_lines_by_district.Insert(lkey, lrec); });
+    t.OnInstall([&db, lkey, lrec] {
+      MV3C_CHECK(db.order_lines_by_district.Insert(lkey, lrec));
+    });
   }
   return ExecStatus::kOk;
 }

@@ -103,7 +103,7 @@ class TradingDb {
     Mv3cExecutor loader(mgr_);
     // Chunked loading keeps the undo buffer bounded.
     for (uint64_t base = 0; base < n_securities_; base += 4096) {
-      loader.Run([&](Mv3cTransaction& t) {
+      loader.MustRun([&](Mv3cTransaction& t) {
         const uint64_t end = std::min(n_securities_, base + 4096);
         for (uint64_t s = base; s < end; ++s) {
           const WriteStatus ws = t.InsertRow(
@@ -115,7 +115,7 @@ class TradingDb {
       });
     }
     for (uint64_t base = 0; base < n_customers_; base += 4096) {
-      loader.Run([&](Mv3cTransaction& t) {
+      loader.MustRun([&](Mv3cTransaction& t) {
         const uint64_t end = std::min(n_customers_, base + 4096);
         for (uint64_t c = base; c < end; ++c) {
           const WriteStatus ws =

@@ -52,7 +52,7 @@ TEST(CuckooMapTest, GrowsPastInitialCapacity) {
 
 TEST(CuckooMapTest, ForEachVisitsEveryEntry) {
   CuckooMap<uint64_t, uint64_t> map(64);
-  for (uint64_t i = 0; i < 500; ++i) map.Insert(i, i);
+  for (uint64_t i = 0; i < 500; ++i) ASSERT_TRUE(map.Insert(i, i));
   uint64_t count = 0, sum = 0;
   map.ForEach([&](uint64_t k, uint64_t v) {
     ++count;
@@ -84,7 +84,9 @@ TEST_P(CuckooMapRandomTest, MatchesReferenceModel) {
         const bool found = map.Find(key, &v);
         auto it = ref.find(key);
         ASSERT_EQ(found, it != ref.end());
-        if (found) ASSERT_EQ(v, it->second);
+        if (found) {
+          ASSERT_EQ(v, it->second);
+        }
         break;
       }
       case 2: {
@@ -223,8 +225,10 @@ TEST(OrderedIndexTest, InsertFindErase) {
 
 TEST(OrderedIndexTest, ScanRangeInOrder) {
   TestIndex idx;
-  for (uint64_t s = 0; s < 100; ++s) idx.Insert({3, s}, s * 2);
-  for (uint64_t s = 0; s < 100; ++s) idx.Insert({4, s}, 777);  // other part
+  for (uint64_t s = 0; s < 100; ++s) ASSERT_TRUE(idx.Insert({3, s}, s * 2));
+  for (uint64_t s = 0; s < 100; ++s) {
+    ASSERT_TRUE(idx.Insert({4, s}, 777));  // other partition
+  }
   std::vector<uint64_t> seen;
   idx.ScanRange({3, 10}, {3, 19}, [&](const PairKey& k, uint64_t v) {
     seen.push_back(v);
@@ -236,7 +240,7 @@ TEST(OrderedIndexTest, ScanRangeInOrder) {
 
 TEST(OrderedIndexTest, ScanRangeReverseAndEarlyStop) {
   TestIndex idx;
-  for (uint64_t s = 0; s < 50; ++s) idx.Insert({7, s}, s);
+  for (uint64_t s = 0; s < 50; ++s) ASSERT_TRUE(idx.Insert({7, s}, s));
   std::vector<uint64_t> seen;
   idx.ScanRangeReverse({7, 0}, {7, 49}, [&](const PairKey&, uint64_t v) {
     seen.push_back(v);
@@ -251,15 +255,15 @@ TEST(OrderedIndexTest, ScanRangeReverseAndEarlyStop) {
 TEST(OrderedIndexTest, ShardVersionBumpsOnStructuralChange) {
   TestIndex idx;
   const uint64_t v0 = idx.ShardVersion({5, 0});
-  idx.Insert({5, 1}, 1);
+  ASSERT_TRUE(idx.Insert({5, 1}, 1));
   const uint64_t v1 = idx.ShardVersion({5, 0});
   EXPECT_GT(v1, v0);
   idx.Erase({5, 1});
   EXPECT_GT(idx.ShardVersion({5, 0}), v1);
   // Duplicate insert does not bump.
-  idx.Insert({5, 2}, 1);
+  ASSERT_TRUE(idx.Insert({5, 2}, 1));
   const uint64_t v2 = idx.ShardVersion({5, 0});
-  idx.Insert({5, 2}, 9);
+  EXPECT_FALSE(idx.Insert({5, 2}, 9));
   EXPECT_EQ(idx.ShardVersion({5, 0}), v2);
 }
 

@@ -66,13 +66,13 @@ TEST_F(InteropTest, CommitTimestampsInterleaveAcrossEngines) {
   for (int i = 0; i < 6; ++i) {
     if (i % 2 == 0) {
       Mv3cExecutor e(&mgr_);
-      e.Run(banking::Mv3cTransferMoney(
+      e.MustRun(banking::Mv3cTransferMoney(
           db_, {1 + i % 8, 9 + i % 7, 10 + i, false}));
       EXPECT_GT(e.last_commit_ts(), last);
       last = e.last_commit_ts();
     } else {
       OmvccExecutor e(&mgr_);
-      e.Run(banking::OmvccTransferMoney(
+      e.MustRun(banking::OmvccTransferMoney(
           db_, {1 + i % 8, 9 + i % 7, 10 + i, false}));
       EXPECT_GT(e.last_commit_ts(), last);
       last = e.last_commit_ts();

@@ -100,7 +100,7 @@ class Mv3cEngineTest : public ::testing::Test {
   int64_t Balance(int64_t id) {
     int64_t out = 0;
     Mv3cExecutor exec(&mgr_);
-    exec.Run([&](Mv3cTransaction& t) {
+    exec.MustRun([&](Mv3cTransaction& t) {
       return t.Lookup(table_, id, ColumnMask::Of(kColBalance),
                       [&out](Mv3cTransaction&, AccountTable::Object*,
                              const AccountRow* row) {
@@ -114,7 +114,7 @@ class Mv3cEngineTest : public ::testing::Test {
   int64_t TotalBalance() {
     int64_t total = 0;
     Mv3cExecutor exec(&mgr_);
-    exec.Run([&](Mv3cTransaction& t) {
+    exec.MustRun([&](Mv3cTransaction& t) {
       return t.Scan(
           table_, [](const AccountRow&) { return true; },
           ColumnMask::Of(kColBalance), false,
@@ -230,7 +230,7 @@ TEST_F(Mv3cEngineTest, RepairEquivalentToRestart) {
   AccountTable table2("account2", 1024, WwPolicy::kAllowMultiple);
   auto seed2 = [&] {
     Mv3cExecutor e(&mgr2);
-    e.Run([&](Mv3cTransaction& t) {
+    e.MustRun([&](Mv3cTransaction& t) {
       for (int64_t id = 0; id <= 10; ++id) {
         t.InsertRow(table2, id, AccountRow{id == kFeeAccount ? 0 : 1000, 0});
       }
@@ -284,7 +284,7 @@ TEST_F(Mv3cEngineTest, RepairEquivalentToRestart) {
   auto balance2 = [&](int64_t id) {
     int64_t out = 0;
     Mv3cExecutor e(&mgr2);
-    e.Run([&](Mv3cTransaction& t) {
+    e.MustRun([&](Mv3cTransaction& t) {
       return t.Lookup(table2, id, ColumnMask::All(),
                       [&out](Mv3cTransaction&, AccountTable::Object*,
                              const AccountRow* row) {

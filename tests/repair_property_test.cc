@@ -118,7 +118,7 @@ TEST_P(RepairPropertyTest, RepairMatchesRestartStateExactly) {
     CellTable table_b("cells_b", 64, WwPolicy::kAllowMultiple);
     auto load = [&](TransactionManager& m, CellTable& tbl) {
       Mv3cExecutor e(&m);
-      e.Run([&](Mv3cTransaction& t) {
+      e.MustRun([&](Mv3cTransaction& t) {
         for (uint64_t c = 0; c < kCells; ++c) {
           t.InsertRow(tbl, c, CellRow{static_cast<int64_t>(c * 10)});
         }

@@ -1,0 +1,13 @@
+// Lint-rule case (no_bare_lock_guard.query): std::lock_guard<SpinLock>
+// hides the acquisition from the thread-safety analysis. Compiles fine;
+// the lint self-test plants it under a src/-shaped path and expects the
+// rule to fire.
+#include <mutex>
+
+#include "common/spinlock.h"
+
+int main() {
+  mv3c::SpinLock l;
+  std::lock_guard<mv3c::SpinLock> g(l);  // rule hit: use SpinLockGuard
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Negative-compilation case: re-acquiring a non-reentrant SpinLock that is
+// already held (self-deadlock at runtime). Must FAIL under clang
+// -Werror=thread-safety-analysis ("acquiring mutex ... that is already
+// held"); PASSES under gcc.
+#include "common/spinlock.h"
+
+void SelfDeadlock(mv3c::SpinLock& l) {
+  mv3c::SpinLockGuard a(l);
+  mv3c::SpinLockGuard b(l);  // second acquisition: analysis error
+}
+
+int main() {
+  mv3c::SpinLock l;
+  SelfDeadlock(l);
+  return 0;
+}

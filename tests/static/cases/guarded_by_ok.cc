@@ -1,0 +1,20 @@
+// Positive control for guarded_by_violation.cc: the same access through
+// SpinLockGuard satisfies the analysis. Must PASS under both compilers.
+#include "common/spinlock.h"
+#include "common/thread_safety.h"
+
+struct Counter {
+  mv3c::SpinLock lock;
+  long value MV3C_GUARDED_BY(lock) = 0;
+
+  void Bump() {
+    mv3c::SpinLockGuard g(lock);
+    ++value;
+  }
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Negative-compilation case: touching a MV3C_GUARDED_BY field with no lock
+// held. Must FAIL under clang -Werror=thread-safety-analysis; must PASS
+// under gcc (the annotations expand to nothing there), which is the
+// control proving the failure comes from the analysis, not the code.
+#include "common/spinlock.h"
+#include "common/thread_safety.h"
+
+struct Counter {
+  mv3c::SpinLock lock;
+  long value MV3C_GUARDED_BY(lock) = 0;
+
+  void Bump() { ++value; }  // no lock held: thread-safety error
+};
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

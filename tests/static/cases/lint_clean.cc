@@ -1,0 +1,13 @@
+// Clean control for the lint self-test: exercises the same headers as the
+// violation cases through the sanctioned idioms (SpinLockGuard, arena
+// allocation via GarbageCollector-owned lifecycles) and must produce zero
+// matches from every rule.
+#include "common/spinlock.h"
+
+int main() {
+  mv3c::SpinLock l;
+  {
+    mv3c::SpinLockGuard g(l);
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Negative-compilation case: a scope that acquires a capability and never
+// releases it. Must FAIL under clang -Werror=thread-safety-analysis
+// ("mutex ... is still held at the end of function"); PASSES under gcc.
+#include "common/spinlock.h"
+
+void LeakLock(mv3c::SpinLock& l) {
+  l.lock();
+  // missing l.unlock(): capability leaks out of the scope
+}
+
+int main() {
+  mv3c::SpinLock l;
+  LeakLock(l);
+  return 0;
+}

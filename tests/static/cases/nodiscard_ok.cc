@@ -1,0 +1,14 @@
+// Positive control for nodiscard_violation.cc: the same calls with their
+// results consumed. Must PASS under both compilers.
+#include "common/status.h"
+#include "index/ordered_index.h"
+
+mv3c::StepResult Make();
+
+int main() {
+  const bool committed = Make() == mv3c::StepResult::kCommitted;
+
+  mv3c::OrderedIndex<unsigned long, unsigned long, mv3c::SinglePartition> idx;
+  const bool inserted = idx.Insert(1, 2);
+  return committed && inserted ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Negative-compilation case: discarding [[nodiscard]] results. Must FAIL
+// under BOTH compilers with -Werror=unused-result — the loader bug class
+// from PR 1 (a failed population insert silently ignored) is what the
+// attribute exists to prevent.
+#include "common/status.h"
+#include "index/ordered_index.h"
+
+mv3c::StepResult Make();
+
+int main() {
+  Make();  // error: StepResult is [[nodiscard]]
+
+  mv3c::OrderedIndex<unsigned long, unsigned long, mv3c::SinglePartition> idx;
+  idx.Insert(1, 2);  // error: Insert's success bit is [[nodiscard]]
+  return 0;
+}

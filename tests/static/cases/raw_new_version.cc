@@ -1,0 +1,15 @@
+// Lint-rule case (no_raw_version_new.query): raw new/delete of version
+// machinery outside version_arena.{h,cc}. Compiles fine — the violation is
+// caught by the AST lint, not the compiler — so this file only feeds the
+// lint self-test, which plants it under a src/-shaped path and expects the
+// rule to fire on both expressions.
+#include "mvcc/gc.h"
+#include "mvcc/version.h"
+
+int main() {
+  auto* v = new mv3c::Version<long>(nullptr, nullptr, 1, 42);  // rule hit
+  delete v;                                                    // rule hit
+  auto* r = new mv3c::CommittedRecord();                       // rule hit
+  delete r;                                                    // rule hit
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Lint-rule case (no_stats_outside_obs.query): an ad-hoc *Stats struct
+// outside src/obs/ forks the metrics surface. Compiles fine; the lint
+// self-test plants it under a src/-shaped path and expects the rule to
+// fire.
+struct ShadowEngineStats {  // rule hit: belongs in src/obs/engine_stats.h
+  long commits = 0;
+  long aborts = 0;
+};
+
+int main() {
+  ShadowEngineStats s;
+  s.commits = 1;
+  return static_cast<int>(s.commits + s.aborts) - 1;
+}

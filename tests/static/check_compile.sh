@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Negative-compilation driver: compiles one case file and checks the
+# outcome against the expectation.
+#
+# Usage: check_compile.sh <pass|fail> <compiler|clang> <source> <include-dir>
+#                         <diag-regex> [extra compile flags...]
+#
+#   arg2 is either an explicit compiler binary (the configured
+#   CMAKE_CXX_COMPILER, for cases that must behave the same everywhere) or
+#   the literal token `clang`, which searches PATH for a clang++ and SKIPS
+#   (exit 77, ctest SKIP_RETURN_CODE) when none exists — thread-safety
+#   cases are meaningful only under clang's analysis.
+#   <diag-regex> is required for `fail` cases: the compiler output must
+#   match it, proving the compile failed for the intended reason and not a
+#   typo. Pass `-` to skip the regex (pass cases).
+
+set -u
+
+EXPECT="$1"
+COMPILER="$2"
+SOURCE="$3"
+INCLUDE_DIR="$4"
+DIAG="$5"
+shift 5
+
+if [[ "${COMPILER}" == "clang" ]]; then
+  COMPILER=""
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+              clang++-16 clang++-15 clang++-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      COMPILER="${cand}"
+      break
+    fi
+  done
+  if [[ -z "${COMPILER}" ]]; then
+    echo "SKIP: no clang++ on PATH (thread-safety analysis is clang-only)"
+    exit 77
+  fi
+fi
+
+OUT="$("${COMPILER}" -std=c++20 -fsyntax-only -I"${INCLUDE_DIR}" "$@" \
+       "${SOURCE}" 2>&1)"
+STATUS=$?
+
+if [[ "${EXPECT}" == "pass" ]]; then
+  if [[ ${STATUS} -ne 0 ]]; then
+    echo "FAIL: expected ${SOURCE} to compile, got:"
+    printf '%s\n' "${OUT}"
+    exit 1
+  fi
+  exit 0
+fi
+
+if [[ ${STATUS} -eq 0 ]]; then
+  echo "FAIL: expected ${SOURCE} to be rejected, but it compiled"
+  exit 1
+fi
+if [[ "${DIAG}" != "-" ]] && ! printf '%s\n' "${OUT}" | grep -qE "${DIAG}"; then
+  echo "FAIL: ${SOURCE} was rejected, but not with the expected"
+  echo "      diagnostic (regex: ${DIAG}). Output:"
+  printf '%s\n' "${OUT}"
+  exit 1
+fi
+exit 0

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Self-test for the structured lint suite (scripts/lint/): plants the
+# violation cases under a src/-shaped path inside the build tree, points
+# run_lint.sh at a synthetic compile_commands.json, and checks that every
+# rule fires — then checks a clean control produces zero findings. Skips
+# (exit 77) when clang-query is unavailable.
+#
+# Usage: lint_selftest.sh <repo-root> <scratch-dir>
+
+set -u
+
+ROOT="$1"
+SCRATCH="$2"
+
+found=0
+for cand in clang-query clang-query-20 clang-query-19 clang-query-18 \
+            clang-query-17 clang-query-16 clang-query-15 clang-query-14; do
+  if command -v "${cand}" >/dev/null 2>&1; then
+    found=1
+    break
+  fi
+done
+if [[ ${found} -eq 0 ]]; then
+  echo "SKIP: clang-query not on PATH"
+  exit 77
+fi
+
+make_db() {  # make_db <dir> <case...>  — synthesizes compile_commands.json
+  local dir="$1"
+  shift
+  rm -rf "${dir}"
+  mkdir -p "${dir}/src"
+  local entries=()
+  local c
+  for c in "$@"; do
+    cp "${ROOT}/tests/static/cases/${c}" "${dir}/src/${c}"
+    entries+=("{\"directory\": \"${dir}\",
+  \"command\": \"c++ -std=c++20 -I${ROOT}/src -c src/${c}\",
+  \"file\": \"src/${c}\"}")
+  done
+  {
+    echo "["
+    local IFS=,
+    echo "${entries[*]}"
+    echo "]"
+  } > "${dir}/compile_commands.json"
+}
+
+FAILED=0
+
+# 1. Every rule must fire on its violation case.
+make_db "${SCRATCH}/violations" \
+  raw_new_version.cc bare_lock_guard.cc stats_outside_obs.cc
+OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
+       "${SCRATCH}/violations" 2>&1)"
+if [[ $? -ne 1 ]]; then
+  echo "FAIL: lint over planted violations did not exit 1. Output:"
+  printf '%s\n' "${OUT}"
+  FAILED=1
+fi
+for rule in no_raw_version_new no_stats_outside_obs no_bare_lock_guard; do
+  if ! printf '%s\n' "${OUT}" | grep -q "FAIL ${rule}"; then
+    echo "FAIL: rule ${rule} did not fire on its violation case. Output:"
+    printf '%s\n' "${OUT}"
+    FAILED=1
+  fi
+done
+
+# 2. The clean control must produce zero findings.
+make_db "${SCRATCH}/clean" lint_clean.cc
+if ! OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
+            "${SCRATCH}/clean" 2>&1)"; then
+  echo "FAIL: lint over the clean control reported findings:"
+  printf '%s\n' "${OUT}"
+  FAILED=1
+fi
+
+exit "${FAILED}"

@@ -145,7 +145,7 @@ TYPED_TEST(SvEngineTest, ConcurrentIncrementsNeverLoseUpdates) {
     threads.emplace_back([&, engine] {
       SvExecutor<TypeParam> e(engine);
       for (int n = 0; n < kPerThread; ++n) {
-        e.Run([&](SvTransaction& t) {
+        e.MustRun([&](SvTransaction& t) {
           return Increment<TypeParam>(t, this->table_, 5);
         });
       }

@@ -100,7 +100,7 @@ TEST_F(TatpTest, InsertThenDeleteCallForwardingRoundTrip) {
   // Delete any preexisting row first.
   p.type = TxnType::kDeleteCallForwarding;
   Mv3cExecutor d0(&mgr_);
-  d0.Run(Mv3cTatpProgram(db_, p));  // outcome depends on loader; ignore
+  (void)d0.Run(Mv3cTatpProgram(db_, p));  // outcome depends on loader; ignore
 
   p.type = TxnType::kInsertCallForwarding;
   Mv3cExecutor ins(&mgr_);
