@@ -164,6 +164,12 @@ const char* Name(Site site) {
       return "cuckoo-insert";
     case Site::kSvCommitValidate:
       return "sv-commit-validate";
+    case Site::kWalShortWrite:
+      return "wal-short-write";
+    case Site::kWalCrashAfterAppend:
+      return "wal-crash-after-append";
+    case Site::kWalFsyncFail:
+      return "wal-fsync-fail";
     case Site::kNumSites:
       break;
   }

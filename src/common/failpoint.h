@@ -50,6 +50,17 @@ enum class Site : uint8_t {
   kCuckooInsert,
   /// SILO/OCC commit validation — firing forces a validation failure.
   kSvCommitValidate,
+  /// LogManager::FlushRound — firing truncates the epoch block mid-write
+  /// (half its bytes reach the file) and then freezes the log, the classic
+  /// torn-tail crash the recovery CRC check must detect.
+  kWalShortWrite,
+  /// LogManager::FlushRound — firing freezes the log after the block's
+  /// bytes reached the file but before fsync: the block may or may not
+  /// survive, recovery must accept either outcome.
+  kWalCrashAfterAppend,
+  /// LogManager::FlushRound — firing makes the epoch's fsync fail; the log
+  /// freezes without acknowledging the epoch.
+  kWalFsyncFail,
 
   kNumSites,
 };

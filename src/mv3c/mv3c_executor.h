@@ -87,6 +87,10 @@ class Mv3cExecutor {
         obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kRepair);
         MV3C_TRACE_EVENT(obs::TraceEvent::kRepairRound,
                          txn_.inner().txn_id());
+        // Durability note: repaired transactions log only their *final*
+        // write set (the post-repair CommittedRecord); this flag just
+        // stamps kFlagRepaired on those records for tests/wal_dump.
+        txn_.inner().set_wal_repaired();
         st = txn_.Repair();
         break;
       }
@@ -113,28 +117,36 @@ class Mv3cExecutor {
         obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kValidate);
         txn_.PrevalidateAndMark();
       }
-      obs::ScopedPhaseTimer commit_timer(timed_metrics_, obs::Phase::kCommit);
-      const ExecStatus xs = txn_.manager()->TryCommitExclusive(
-          &txn_.inner(),
-          [this](CommittedRecord* head) {
-            bool delta_clean = txn_.ValidateAndMark(head);
-            if (MV3C_FAILPOINT(failpoint::Site::kCommitExclusiveDelta) &&
-                txn_.ForceInvalidatePredicate()) {
-              delta_clean = false;
-            }
-            return delta_clean && !txn_.HasInvalidPredicates();
-          },
-          [this]() {
-            ++txn_.stats().validation_failures;
-            MV3C_TRACE_EVENT(obs::TraceEvent::kValidateFail,
-                             txn_.inner().txn_id());
-            return txn_.Repair();
-          },
-          &last_commit_ts_);
+      ExecStatus xs;
+      {
+        obs::ScopedPhaseTimer commit_timer(timed_metrics_,
+                                           obs::Phase::kCommit);
+        xs = txn_.manager()->TryCommitExclusive(
+            &txn_.inner(),
+            [this](CommittedRecord* head) {
+              bool delta_clean = txn_.ValidateAndMark(head);
+              if (MV3C_FAILPOINT(failpoint::Site::kCommitExclusiveDelta) &&
+                  txn_.ForceInvalidatePredicate()) {
+                delta_clean = false;
+              }
+              return delta_clean && !txn_.HasInvalidPredicates();
+            },
+            [this]() {
+              ++txn_.stats().validation_failures;
+              MV3C_TRACE_EVENT(obs::TraceEvent::kValidateFail,
+                               txn_.inner().txn_id());
+              txn_.inner().set_wal_repaired();  // §4.3 in-lock repair
+              return txn_.Repair();
+            },
+            &last_commit_ts_);
+      }
       if (xs == ExecStatus::kOk) {
         ++txn_.stats().commits;
         txn_.ResetGraph();
         MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
+        // Outside the kCommit timer: the group-commit wait is epoch-scale
+        // and would swamp the commit-phase histogram.
+        (void)txn_.manager()->WalWaitDurable(&txn_.inner());
         return StepResult::kCommitted;
       }
       if (xs == ExecStatus::kUserAbort) return FinishUserAbort();
@@ -168,6 +180,7 @@ class Mv3cExecutor {
       ++txn_.stats().commits;
       txn_.ResetGraph();
       MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
+      (void)txn_.manager()->WalWaitDurable(&txn_.inner());
       return StepResult::kCommitted;
     }
     return FailRound();

@@ -1,8 +1,11 @@
 #ifndef MV3C_MVCC_TABLE_H_
 #define MV3C_MVCC_TABLE_H_
 
+#include <cstdint>
+#include <cstring>
 #include <deque>
 #include <string>
+#include <type_traits>
 
 #include "common/macros.h"
 #include "common/spinlock.h"
@@ -31,9 +34,34 @@ class TableBase {
   WwPolicy ww_policy() const { return ww_policy_; }
   void set_ww_policy(WwPolicy p) { ww_policy_ = p; }
 
+  /// Durability identity: tables registered with a wal::Catalog get a
+  /// nonzero stable id that keys their redo records; tables left at
+  /// kNoWalId are invisible to the log (their writes are not serialized).
+  /// Plain metadata — compiled in regardless of -DMV3C_WAL so table layout
+  /// does not fork across build modes.
+  static constexpr uint32_t kNoWalId = 0;
+  uint32_t wal_id() const { return wal_id_; }
+  void set_wal_id(uint32_t id) { wal_id_ = id; }
+
+  /// Type-erased redo serialization of one version (key + after-image),
+  /// used by the commit-path serializer which only holds VersionBase*.
+  /// Zero sizes mean the table's key/row are not trivially copyable and
+  /// the table cannot be logged (Catalog refuses to register it).
+  virtual uint32_t WalKeyBytes() const { return 0; }
+  virtual uint32_t WalRowBytes() const { return 0; }
+  virtual void WalEncodeKey(const VersionBase& v, void* out) const {
+    (void)v;
+    (void)out;
+  }
+  virtual void WalEncodeRow(const VersionBase& v, void* out) const {
+    (void)v;
+    (void)out;
+  }
+
  private:
   const std::string name_;
   WwPolicy ww_policy_;
+  uint32_t wal_id_ = kNoWalId;
 };
 
 /// An in-memory multi-version table: a concurrent cuckoo hash map from
@@ -84,6 +112,36 @@ class Table : public TableBase {
   /// Number of data objects ever created (including logically deleted and
   /// ghost rows from rolled-back inserts).
   size_t ObjectCount() const { return index_.Size(); }
+
+  /// Whether this table's writes can be serialized into the redo log: the
+  /// log is a memcpy format, so key and row must be trivially copyable.
+  static constexpr bool kWalEncodable =
+      std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<RowT>;
+
+  uint32_t WalKeyBytes() const override {
+    return kWalEncodable ? sizeof(K) : 0;
+  }
+  uint32_t WalRowBytes() const override {
+    return kWalEncodable ? sizeof(RowT) : 0;
+  }
+  void WalEncodeKey(const VersionBase& v, void* out) const override {
+    if constexpr (kWalEncodable) {
+      std::memcpy(out, &static_cast<const Object*>(v.object())->key(),
+                  sizeof(K));
+    } else {
+      (void)v;
+      (void)out;
+    }
+  }
+  void WalEncodeRow(const VersionBase& v, void* out) const override {
+    if constexpr (kWalEncodable) {
+      std::memcpy(out, &static_cast<const Version<RowT>&>(v).data(),
+                  sizeof(RowT));
+    } else {
+      (void)v;
+      (void)out;
+    }
+  }
 
   /// Approximate object-arena footprint (headers/keys only — the versions
   /// hanging off the chains live in the manager's VersionArena, whose

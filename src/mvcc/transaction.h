@@ -17,6 +17,10 @@
 
 namespace mv3c {
 
+namespace wal {
+class LogBuffer;
+}  // namespace wal
+
 class TransactionManager;
 
 /// Outcome of a single write primitive.
@@ -218,6 +222,8 @@ class Transaction {
     txn_id_ = id;
     slot_ = slot;
     validated_up_to_ = start;
+    wal_epoch_ = 0;
+    wal_repaired_ = false;
   }
   void OnNewStartTs(Timestamp start) { start_ts_ = start; }
   uint32_t slot() const { return slot_; }
@@ -234,6 +240,25 @@ class Transaction {
   }
   void ResetValidationWatermark() { validated_up_to_ = start_ts_; }
 
+  // --- durability hooks (inert pointers/flags when -DMV3C_WAL=OFF) ---
+
+  /// Per-worker WAL staging buffer; the manager's commit path creates one
+  /// lazily for this transaction context and reuses it across Begins.
+  wal::LogBuffer* wal_buffer() const { return wal_buffer_; }
+  void set_wal_buffer(wal::LogBuffer* b) { wal_buffer_ = b; }
+
+  /// Epoch the last commit's redo records were tagged with; 0 when nothing
+  /// was logged. The executor waits for this to become durable.
+  uint64_t wal_epoch() const { return wal_epoch_; }
+  void set_wal_epoch(uint64_t e) { wal_epoch_ = e; }
+
+  /// Set by the MV3C executor when the transaction went through at least
+  /// one repair round before committing; stamped on its redo records
+  /// (kFlagRepaired) so tests can assert only the final write set is
+  /// logged. Reset by OnBegin.
+  bool wal_repaired() const { return wal_repaired_; }
+  void set_wal_repaired() { wal_repaired_ = true; }
+
  private:
   void RegisterVersion(VersionBase* v) { undo_.push_back(v); }
 
@@ -248,6 +273,9 @@ class Transaction {
   uint32_t slot_ = ~0u;
   std::vector<VersionBase*> undo_;
   Timestamp validated_up_to_ = 0;
+  wal::LogBuffer* wal_buffer_ = nullptr;
+  uint64_t wal_epoch_ = 0;
+  bool wal_repaired_ = false;
 };
 
 }  // namespace mv3c

@@ -14,6 +14,12 @@
 #include "mvcc/version_arena.h"
 #include "obs/metrics.h"
 
+#if defined(MV3C_WAL_ENABLED)
+#include <memory>
+
+#include "wal/log_mvcc.h"
+#endif
+
 namespace mv3c {
 
 /// The shared transaction-management state of the MVCC substrate (paper
@@ -124,6 +130,7 @@ class TransactionManager {
     if (rec != nullptr) {
       rec->next.store(head, std::memory_order_relaxed);
       rc_head_.store(rec, std::memory_order_release);
+      LogCommitLocked(t, rec, c);
     }
     ReleaseSlot(t->slot());
     if (commit_ts_out != nullptr) *commit_ts_out = c;
@@ -156,6 +163,7 @@ class TransactionManager {
     if (rec != nullptr) {
       rec->next.store(head, std::memory_order_relaxed);
       rc_head_.store(rec, std::memory_order_release);
+      LogCommitLocked(t, rec, c);
     }
     ReleaseSlot(t->slot());
     if (commit_ts_out != nullptr) *commit_ts_out = c;
@@ -242,6 +250,44 @@ class TransactionManager {
   /// phase histograms). Benchmarks merge this with executor registries.
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+#if defined(MV3C_WAL_ENABLED)
+  /// Turns on durability: commits of WAL-registered tables serialize their
+  /// final write set into the group-commit log (DESIGN §5f). Call before
+  /// any transaction runs; the writer thread lives until the manager (or
+  /// DisableWal) tears it down.
+  void EnableWal(const wal::WalConfig& config) {
+    wal_ = std::make_unique<wal::LogManager>(config);
+  }
+  /// Joins the writer thread and closes the log (final flush included).
+  void DisableWal() { wal_.reset(); }
+  wal::LogManager* wal() { return wal_.get(); }
+#endif
+
+  /// Blocks until `t`'s last commit is durable per the configured ack mode
+  /// (a shared group-commit wait under sync ack, a no-op under async ack).
+  /// Compiled in every build: without WAL it returns true immediately, so
+  /// executors call it unconditionally. Returns false iff the log crashed
+  /// before the commit became durable.
+  bool WalWaitDurable(Transaction* t) {
+#if defined(MV3C_WAL_ENABLED)
+    if (wal_ != nullptr && t->wal_epoch() != 0) {
+      return wal_->WaitCommitDurable(t->wal_epoch());
+    }
+#endif
+    (void)t;
+    return true;
+  }
+
+  /// Recovery hook: advances the timestamp sequence past `ts` so versions
+  /// replayed with commit timestamps up to `ts` are visible to (and older
+  /// than) every transaction started afterwards.
+  void AdvanceClockTo(Timestamp ts) MV3C_EXCLUDES(commit_lock_) {
+    SpinLockGuard g(commit_lock_);
+    if (ts_seq_.load(std::memory_order_relaxed) <= ts) {
+      ts_seq_.store(ts + 1, std::memory_order_seq_cst);
+    }
+  }
+
   /// Number of records currently reachable in the RC list; metrics/tests.
   size_t RecentlyCommittedLength() const {
     size_t n = 0;
@@ -256,6 +302,25 @@ class TransactionManager {
   struct alignas(MV3C_CACHELINE_SIZE) Slot {
     std::atomic<Timestamp> start;
   };
+
+  /// Serializes a just-published commit into the redo log; caller holds
+  /// commit_lock_ (the versions can't be GC'd and the write set is final —
+  /// for MV3C, final *after* repair). Compiles to nothing without WAL.
+  void LogCommitLocked(Transaction* t, const CommittedRecord* rec,
+                       Timestamp c) MV3C_REQUIRES(commit_lock_) {
+#if defined(MV3C_WAL_ENABLED)
+    if (wal_ != nullptr) {
+      wal::LogBuffer* buf = t->wal_buffer();
+      t->set_wal_epoch(
+          wal::LogMvccCommit(*wal_, buf, *rec, c, t->wal_repaired()));
+      t->set_wal_buffer(buf);
+    }
+#else
+    (void)t;
+    (void)rec;
+    (void)c;
+#endif
+  }
 
   /// Draws a fresh start timestamp; caller holds commit_lock_. The slot is
   /// updated before the sequence advances (see Begin for why).
@@ -330,6 +395,12 @@ class TransactionManager {
   obs::MetricsRegistry metrics_;
   VersionArena arena_;
   GarbageCollector gc_;
+#if defined(MV3C_WAL_ENABLED)
+  // Last member: the log (and its writer thread) tears down first, before
+  // gc_/arena_/metrics_ — the writer owns no version memory but its final
+  // flush must not outlive any state a hook could touch.
+  std::unique_ptr<wal::LogManager> wal_;
+#endif
 };
 
 // --- Transaction methods that need the manager ---

@@ -55,6 +55,8 @@ enum class Phase : uint8_t {
   kCommit,        // the commit critical section (incl. in-lock delta work)
   kGc,            // TransactionManager::CollectGarbage
   kArenaRetire,   // VersionArena slab retirement/recycling
+  kLogSerialize,  // WAL: write-set serialization inside the commit lock
+  kLogFlush,      // WAL: one group-commit epoch round (drain+append+fsync)
   kNumPhases,
 };
 
@@ -62,7 +64,8 @@ inline constexpr int kNumPhases = static_cast<int>(Phase::kNumPhases);
 
 inline const char* PhaseName(Phase p) {
   static constexpr const char* kNames[kNumPhases] = {
-      "execute", "validate", "repair", "commit", "gc", "arena_retire"};
+      "execute",      "validate",  "repair",   "commit",
+      "gc",           "arena_retire", "log_serialize", "log_flush"};
   return kNames[static_cast<int>(p)];
 }
 

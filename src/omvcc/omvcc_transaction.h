@@ -273,6 +273,9 @@ class OmvccExecutor {
       ++txn_.stats().commits;
       txn_.ClearPredicates();
       MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, txn_.inner().txn_id());
+      // Outside the kCommit timer: the group-commit wait is epoch-scale
+      // and would swamp the commit-phase histogram.
+      (void)txn_.manager()->WalWaitDurable(&txn_.inner());
       return StepResult::kCommitted;
     }
     return FailValidation();

@@ -8,6 +8,10 @@
 #include "obs/metrics.h"
 #include "sv/sv_transaction.h"
 
+#if defined(MV3C_WAL_ENABLED)
+#include "wal/log_sv.h"
+#endif
+
 namespace mv3c {
 
 /// SILO-style decentralized OCC baseline (Tu et al., SOSP'13, simplified):
@@ -19,7 +23,14 @@ namespace mv3c {
 /// in this in-memory reproduction.
 class SiloEngine {
  public:
-  bool Commit(sv::SvTransaction& t) {
+  /// `timing_sampled` is the executor's per-transaction sampling decision
+  /// (all-or-none per transaction, see OccEngine::Commit for the bias
+  /// argument); `*commit_tid_out` (optional) receives the commit TID on
+  /// success (the WAL's commit_ts for SV); `*wal_epoch_out` the redo
+  /// records' epoch tag (0 when nothing logged).
+  bool Commit(sv::SvTransaction& t, bool timing_sampled = false,
+              uint64_t* commit_tid_out = nullptr,
+              uint64_t* wal_epoch_out = nullptr) {
     // Phase 1: lock the write set in a deterministic order.
     std::vector<std::atomic<uint64_t>*> locked;
     locked.reserve(t.writes().size());
@@ -55,11 +66,9 @@ class SiloEngine {
       }
       if (!ok) break;
     }
-    // Phase 2: validate reads and scan nodes. Timing is sampled
-    // 1-in-kPhaseSampleEvery per thread (see obs/metrics.h).
-    thread_local obs::PhaseSampler sampler;
+    // Phase 2: validate reads and scan nodes.
     {
-      obs::ScopedPhaseTimer timer(sampler.Tick() ? &metrics_ : nullptr,
+      obs::ScopedPhaseTimer timer(timing_sampled ? &metrics_ : nullptr,
                                   obs::Phase::kValidate);
       if (ok) {
         for (const sv::SvRead& r : t.reads()) {
@@ -96,15 +105,41 @@ class SiloEngine {
     max_tid = std::max(max_tid, last_tid_);
     const uint64_t commit_tid = max_tid + 1;
     last_tid_ = commit_tid;
+    // Serialize redo BEFORE installing: the write set is still locked, so
+    // a dependent transaction cannot read these writes (and draw its own,
+    // possibly earlier, epoch tag) until after ours is drawn — durable
+    // epoch prefixes stay causally consistent (see wal/log_sv.h). Silo
+    // TIDs are per-engine, but conflicting transactions always have
+    // ordered TIDs (locks/reads propagate max_tid), so TID-sorted replay
+    // is correct.
+#if defined(MV3C_WAL_ENABLED)
+    if (wal_ != nullptr) {
+      const uint64_t e = wal::LogSvCommit(*wal_, wal_buf_, t, commit_tid);
+      if (wal_epoch_out != nullptr) *wal_epoch_out = e;
+    }
+#else
+    (void)wal_epoch_out;
+#endif
     sv::InstallWrites(t, commit_tid);  // clears the lock bits
+    if (commit_tid_out != nullptr) *commit_tid_out = commit_tid;
     return true;
   }
 
   obs::MetricsRegistry& metrics() { return metrics_; }
 
+#if defined(MV3C_WAL_ENABLED)
+  /// Attaches the group-commit log. SILO engines are per-executor, so the
+  /// staging buffer is single-writer by construction.
+  void set_wal(wal::LogManager* lm) { wal_ = lm; }
+#endif
+
  private:
   uint64_t last_tid_ = 1;  // per-engine-instance (one engine per worker)
   obs::MetricsRegistry metrics_;
+#if defined(MV3C_WAL_ENABLED)
+  wal::LogManager* wal_ = nullptr;
+  wal::LogBuffer* wal_buf_ = nullptr;
+#endif
 };
 
 }  // namespace mv3c

@@ -14,6 +14,10 @@
 #include "obs/trace.h"
 #include "sv/sv_transaction.h"
 
+#if defined(MV3C_WAL_ENABLED)
+#include "wal/log_manager.h"
+#endif
+
 namespace mv3c {
 
 /// Step-based driver adapter for the single-version engines, so OCC and
@@ -68,13 +72,27 @@ class SvExecutor {
       injected = true;
     }
     bool committed = false;
+    uint64_t commit_tid = 0;
+    uint64_t wal_epoch = 0;
     if (!injected) {
       obs::ScopedPhaseTimer timer(timed_metrics_, obs::Phase::kCommit);
-      committed = engine_->Commit(txn_);
+      committed = engine_->Commit(txn_, timed_metrics_ != nullptr,
+                                  &commit_tid, &wal_epoch);
     }
     if (committed) {
       ++stats_.commits;
       MV3C_TRACE_EVENT(obs::TraceEvent::kCommit, seq_);
+#if defined(MV3C_WAL_ENABLED)
+      // Group-commit durability wait (sync ack) — shared with every other
+      // transaction in the epoch; a no-op under async ack or when nothing
+      // was logged. A false return means the log crashed; the commit is
+      // installed in memory either way, crash tests read the log state.
+      if (wal_ != nullptr && wal_epoch != 0) {
+        (void)wal_->WaitCommitDurable(wal_epoch);
+      }
+#else
+      (void)wal_epoch;
+#endif
       return StepResult::kCommitted;
     }
     ++stats_.validation_failures;
@@ -125,6 +143,13 @@ class SvExecutor {
   const SvStats& stats() const { return stats_; }
   uint32_t attempts() const { return ctrl_.attempts(); }
 
+#if defined(MV3C_WAL_ENABLED)
+  /// Attaches the log for commit-durability waits. The engine must be
+  /// attached separately (engine->set_wal) — OCC shares one engine across
+  /// executors, so the two lifetimes differ.
+  void set_wal(wal::LogManager* lm) { wal_ = lm; }
+#endif
+
  private:
   Engine* engine_;
   RetryController ctrl_;
@@ -137,6 +162,9 @@ class SvExecutor {
   obs::MetricsRegistry* timed_metrics_ = nullptr;
   obs::PhaseSampler sampler_;
   uint64_t seq_ = 0;
+#if defined(MV3C_WAL_ENABLED)
+  wal::LogManager* wal_ = nullptr;
+#endif
 };
 
 }  // namespace mv3c

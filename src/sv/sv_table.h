@@ -33,12 +33,19 @@ inline constexpr uint64_t kTidMask = kAbsentBit - 1;
 inline bool IsLocked(uint64_t w) { return (w & kLockBit) != 0; }
 inline bool IsAbsent(uint64_t w) { return (w & kAbsentBit) != 0; }
 
-/// One record: TID word plus the row payload in place.
-template <typename Row>
+/// One record: TID word, the owning key, and the row payload in place. The
+/// key is stored on the record (set once at allocation, immutable after)
+/// so the redo serializer can reach it from a write-set entry without an
+/// index lookup; record addresses are stable (deque arena), so pointers to
+/// it stay valid for the transaction's lifetime.
+template <typename K, typename Row>
 struct Record {
   static_assert(std::is_trivially_copyable_v<Row>,
                 "single-version rows are copied with memcpy");
+  static_assert(std::is_trivially_copyable_v<K>,
+                "single-version keys are logged with memcpy");
   std::atomic<uint64_t> tid{kAbsentBit};
+  K key{};
   Row row{};
 
   /// Optimistically reads a stable snapshot of the row; returns the TID
@@ -62,7 +69,7 @@ class SvTable {
  public:
   using Key = K;
   using Row = RowT;
-  using Rec = Record<RowT>;
+  using Rec = Record<K, RowT>;
 
   explicit SvTable(std::string name, size_t expected_rows = 1024)
       : name_(std::move(name)), index_(expected_rows) {}
@@ -81,21 +88,43 @@ class SvTable {
   Rec* GetOrCreate(const K& key) {
     Rec* r = Find(key);
     if (r != nullptr) return r;
-    Rec* fresh = Allocate();
+    Rec* fresh = Allocate(key);
     if (index_.Insert(key, fresh)) return fresh;
     MV3C_CHECK(index_.Find(key, &r));  // insert loser: winner must exist
     return r;
   }
 
-  /// Non-transactional load (initial population): installs the row with
-  /// TID 1, present.
-  void LoadRow(const K& key, const RowT& row) {
+  /// Non-transactional load (initial population, WAL replay): installs the
+  /// row, present, at `tid` (1 for population; replay passes the record's
+  /// commit TID).
+  void LoadRow(const K& key, const RowT& row, uint64_t tid = 1) {
     Rec* r = GetOrCreate(key);
     r->row = row;
-    r->tid.store(1, std::memory_order_release);
+    r->tid.store(tid & kTidMask, std::memory_order_release);
+  }
+
+  /// Non-transactional delete (WAL replay of a tombstone record): marks
+  /// the row ABSENT at `tid`.
+  void LoadTombstone(const K& key, uint64_t tid = 1) {
+    Rec* r = GetOrCreate(key);
+    r->tid.store((tid & kTidMask) | kAbsentBit, std::memory_order_release);
   }
 
   size_t RecordCount() const { return index_.Size(); }
+
+  /// Applies `fn(const K&, const Rec&)` to every record, live or ABSENT
+  /// (weakly consistent under concurrent inserts); state digests filter
+  /// visibility themselves.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    index_.ForEach([&fn](const K& k, Rec* r) { fn(k, *r); });
+  }
+
+  /// Durability identity, mirroring TableBase::wal_id on the MVCC side:
+  /// nonzero once the table is registered with a wal::Catalog. Plain
+  /// metadata, compiled in regardless of -DMV3C_WAL.
+  uint32_t wal_id() const { return wal_id_; }
+  void set_wal_id(uint32_t id) { wal_id_ = id; }
 
   /// Approximate record-arena footprint; the single-version counterpart of
   /// VersionArena's held_bytes, reported by bench/overhead_memory.
@@ -105,9 +134,10 @@ class SvTable {
   }
 
  private:
-  Rec* Allocate() {
+  Rec* Allocate(const K& key) {
     SpinLockGuard g(arena_lock_);
     arena_.emplace_back();
+    arena_.back().key = key;
     return &arena_.back();
   }
 
@@ -115,6 +145,7 @@ class SvTable {
   CuckooMap<K, Rec*> index_;
   mutable SpinLock arena_lock_;
   std::deque<Rec> arena_ MV3C_GUARDED_BY(arena_lock_);
+  uint32_t wal_id_ = 0;
 };
 
 }  // namespace sv

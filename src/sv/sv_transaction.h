@@ -36,6 +36,12 @@ struct SvWrite {
   size_t size;
   size_t buf_offset;
   Op op;
+  /// Durability identity: the owning table's wal_id (0 when the table is
+  /// not WAL-registered — the redo serializer skips such entries) and the
+  /// record's stored key (stable address, deque arena).
+  uint32_t wal_table_id;
+  uint32_t key_bytes;
+  const void* key;
 };
 
 /// The read phase of a single-version optimistic transaction: collects
@@ -97,7 +103,8 @@ class SvTransaction {
               const typename TableT::Row& new_row) {
     const size_t off = Push(&new_row, sizeof(new_row));
     writes_.push_back({&rec->tid, &rec->row, sizeof(new_row), off,
-                       SvWrite::Op::kUpdate});
+                       SvWrite::Op::kUpdate, table.wal_id(),
+                       static_cast<uint32_t>(sizeof(rec->key)), &rec->key});
   }
 
   /// Buffers an insert; returns false if a live row with the key exists in
@@ -113,8 +120,9 @@ class SvTransaction {
     reads_.push_back({&rec->tid, w});
     if (!IsAbsent(w)) return false;
     const size_t off = Push(&row, sizeof(row));
-    writes_.push_back(
-        {&rec->tid, &rec->row, sizeof(row), off, SvWrite::Op::kInsert});
+    writes_.push_back({&rec->tid, &rec->row, sizeof(row), off,
+                       SvWrite::Op::kInsert, table.wal_id(),
+                       static_cast<uint32_t>(sizeof(rec->key)), &rec->key});
     if (rec_out != nullptr) *rec_out = rec;
     return true;
   }
@@ -122,7 +130,9 @@ class SvTransaction {
   /// Buffers a delete of a record previously read.
   template <typename TableT>
   void Delete(TableT& table, typename TableT::Rec* rec) {
-    writes_.push_back({&rec->tid, &rec->row, 0, 0, SvWrite::Op::kDelete});
+    writes_.push_back({&rec->tid, &rec->row, 0, 0, SvWrite::Op::kDelete,
+                       table.wal_id(),
+                       static_cast<uint32_t>(sizeof(rec->key)), &rec->key});
   }
 
   /// Registers an index-shard version for phantom validation.
@@ -140,6 +150,7 @@ class SvTransaction {
   std::vector<SvRead>& reads() { return reads_; }
   std::vector<SvNode>& nodes() { return nodes_; }
   std::vector<SvWrite>& writes() { return writes_; }
+  const std::vector<SvWrite>& writes() const { return writes_; }
   const std::vector<std::function<void()>>& install_hooks() const {
     return install_hooks_;
   }

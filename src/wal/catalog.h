@@ -1,0 +1,156 @@
+#ifndef MV3C_WAL_CATALOG_H_
+#define MV3C_WAL_CATALOG_H_
+
+#if !defined(MV3C_WAL_ENABLED)
+#error "wal/catalog.h requires -DMV3C_WAL=ON (gate the include site)"
+#endif
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "mvcc/transaction_manager.h"
+#include "mvcc/version.h"
+#include "sv/sv_table.h"
+#include "wal/recovery.h"
+#include "wal/wal_format.h"
+
+namespace mv3c::wal {
+
+/// Maps stable table ids to live tables, in both directions: registration
+/// stamps the table's wal_id (turning its commits into redo records), and
+/// Recover() replays a log directory's records back into the registered
+/// tables. The same Catalog value (same ids, same registration order) must
+/// be constructed before the workload runs and before recovery — the id is
+/// the only identity the log carries.
+///
+/// Replay is single-threaded and non-transactional: ReplayLogDir hands
+/// records over sorted by commit_ts, and each binding applies them with
+/// the tables' load paths (version Push for MVCC, LoadRow/LoadTombstone
+/// for SV). Applying in ascending commit order keeps MVCC chains
+/// head-newest and makes SV last-write-wins trivially correct.
+class Catalog {
+ public:
+  /// Registers an MVCC table. `mgr` owns the VersionArena that replayed
+  /// versions are allocated from, and gets its commit clock advanced past
+  /// the replayed timestamps at the end of Recover() so post-recovery
+  /// transactions order after the replayed history.
+  template <typename TableT>
+  void RegisterMvcc(uint32_t id, TableT* table, TransactionManager* mgr) {
+    static_assert(TableT::kWalEncodable,
+                  "WAL-registered tables need trivially copyable key/row");
+    using K = typename TableT::Key;
+    using Row = typename TableT::Row;
+    // No padding bits allowed: the log and the recovery-equivalence digest
+    // are byte-level, but struct assignment is free to skip padding, so a
+    // padded type would not round-trip deterministically. Add explicit
+    // zero-initialized `pad_` members to the struct to satisfy this.
+    static_assert(std::has_unique_object_representations_v<K> &&
+                      std::has_unique_object_representations_v<Row>,
+                  "WAL-registered key/row types must have no padding bytes");
+    MV3C_CHECK(id != TableBase::kNoWalId);
+    table->set_wal_id(id);
+    AddManager(mgr);
+    AddBinding(id, [this, table, mgr](const RecordView& r) {
+      MV3C_CHECK(r.header.key_bytes == sizeof(K));
+      K key;
+      std::memcpy(&key, r.key, sizeof(K));
+      typename TableT::Object* obj = table->GetOrCreate(key);
+      Row row{};
+      if (r.header.type == static_cast<uint8_t>(RecordType::kUpsert)) {
+        MV3C_CHECK(r.header.val_bytes == sizeof(Row));
+        std::memcpy(&row, r.val, sizeof(Row));
+      } else {
+        MV3C_CHECK(r.header.val_bytes == 0);
+      }
+      auto* v = mgr->arena().Create<Version<Row>>(table, obj,
+                                                  r.header.commit_ts, row);
+      v->set_modified_columns(ColumnMask(r.header.column_mask));
+      v->set_tombstone(r.header.type ==
+                       static_cast<uint8_t>(RecordType::kDelete));
+      v->set_is_insert((r.header.flags & kFlagInsert) != 0);
+      // kAllowMultiple skips the fail-fast conflict scan (there are no
+      // concurrent writers during replay); ascending commit_ts keeps the
+      // chain ordered newest-first.
+      MV3C_CHECK(obj->Push(v, WwPolicy::kAllowMultiple, /*start_ts=*/0,
+                           /*txn_id=*/0) == DataObjectBase::PushResult::kOk);
+      if (r.header.commit_ts > max_mvcc_ts_) {
+        max_mvcc_ts_ = r.header.commit_ts;
+      }
+    });
+  }
+
+  /// Registers a single-version table (OCC/SILO). Replay uses the
+  /// non-transactional load paths; commit_ts is the Silo-style TID.
+  template <typename SvTableT>
+  void RegisterSv(uint32_t id, SvTableT* table) {
+    using K = typename SvTableT::Key;
+    using Row = typename SvTableT::Row;
+    // Same no-padding contract as RegisterMvcc (see the comment there).
+    static_assert(std::has_unique_object_representations_v<K> &&
+                      std::has_unique_object_representations_v<Row>,
+                  "WAL-registered key/row types must have no padding bytes");
+    MV3C_CHECK(id != 0);
+    table->set_wal_id(id);
+    AddBinding(id, [table](const RecordView& r) {
+      MV3C_CHECK(r.header.key_bytes == sizeof(K));
+      K key;
+      std::memcpy(&key, r.key, sizeof(K));
+      if (r.header.type == static_cast<uint8_t>(RecordType::kUpsert)) {
+        MV3C_CHECK(r.header.val_bytes == sizeof(Row));
+        Row row;
+        std::memcpy(&row, r.val, sizeof(Row));
+        table->LoadRow(key, row, r.header.commit_ts);
+      } else {
+        table->LoadTombstone(key, r.header.commit_ts);
+      }
+    });
+  }
+
+  /// Applies one record; false means the table id is unknown to this
+  /// catalog (ReplayLogDir counts those and continues).
+  bool Apply(const RecordView& r) {
+    auto it = bindings_.find(r.header.table_id);
+    if (it == bindings_.end()) return false;
+    it->second(r);
+    return true;
+  }
+
+  /// Replays every durable record under `dir` into the registered tables,
+  /// then advances each registered TransactionManager's clock past the
+  /// largest replayed MVCC commit timestamp.
+  RecoveryReport Recover(const std::string& dir) {
+    RecoveryReport report = ReplayLogDir(
+        dir, [this](const RecordView& r) { return Apply(r); });
+    for (TransactionManager* mgr : managers_) {
+      mgr->AdvanceClockTo(max_mvcc_ts_);
+    }
+    return report;
+  }
+
+ private:
+  void AddBinding(uint32_t id, std::function<void(const RecordView&)> fn) {
+    MV3C_CHECK(bindings_.emplace(id, std::move(fn)).second);  // unique ids
+  }
+
+  void AddManager(TransactionManager* mgr) {
+    for (TransactionManager* m : managers_) {
+      if (m == mgr) return;
+    }
+    managers_.push_back(mgr);
+  }
+
+  std::unordered_map<uint32_t, std::function<void(const RecordView&)>>
+      bindings_;
+  std::vector<TransactionManager*> managers_;
+  Timestamp max_mvcc_ts_ = 0;
+};
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_CATALOG_H_

@@ -1,0 +1,71 @@
+#ifndef MV3C_WAL_LOG_BUFFER_H_
+#define MV3C_WAL_LOG_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "common/thread_safety.h"
+
+namespace mv3c::wal {
+
+class LogManager;
+
+/// One per-worker staging buffer of serialized records, drained by the
+/// group-commit writer once per epoch. Committers append whole
+/// transactions under the buffer lock; the writer drains under the same
+/// lock, so a transaction's records land contiguously inside exactly one
+/// epoch block (the transaction-consistency guarantee recovery leans on).
+///
+/// Epoch-tagging protocol (the reason WaitDurable is race-free): the
+/// writer *first* bumps the manager's current epoch from e to e+1, *then*
+/// drains each buffer. A committer reads the epoch inside its buffer-lock
+/// hold: if it read e it still holds the lock when the drain arrives, so
+/// its bytes are captured by round e; if it acquires the lock after the
+/// drain released it, the lock acquire synchronizes with the writer's
+/// release and the committer reads ≥ e+1. Either way, a record tagged T
+/// is on disk once durable_epoch ≥ T.
+class LogBuffer {
+ public:
+  LogBuffer(const LogBuffer&) = delete;
+  LogBuffer& operator=(const LogBuffer&) = delete;
+
+  /// Appends one transaction's records: `fill(bytes, n_records)` runs with
+  /// the buffer lock held and must append complete records to `bytes`,
+  /// bumping `n_records` per record. Returns the epoch the records are
+  /// tagged with (wait for durable_epoch ≥ it).
+  template <typename Fn>
+  uint64_t AppendTransaction(Fn&& fill) MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
+    const uint64_t epoch = current_epoch_->load(std::memory_order_acquire);
+    fill(bytes_, n_records_);
+    return epoch;
+  }
+
+ private:
+  friend class LogManager;
+
+  explicit LogBuffer(const std::atomic<uint64_t>* current_epoch)
+      : current_epoch_(current_epoch) {}
+
+  /// Writer side: moves the staged bytes into `out`, resets the buffer.
+  void Drain(std::vector<uint8_t>* out, uint32_t* n_records)
+      MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
+    if (bytes_.empty()) return;
+    out->insert(out->end(), bytes_.begin(), bytes_.end());
+    *n_records += n_records_;
+    bytes_.clear();  // keeps capacity: steady-state appends never allocate
+    n_records_ = 0;
+  }
+
+  SpinLock lock_;
+  std::vector<uint8_t> bytes_ MV3C_GUARDED_BY(lock_);
+  uint32_t n_records_ MV3C_GUARDED_BY(lock_) = 0;
+  const std::atomic<uint64_t>* current_epoch_;
+};
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_LOG_BUFFER_H_

@@ -1,0 +1,165 @@
+#ifndef MV3C_WAL_LOG_MANAGER_H_
+#define MV3C_WAL_LOG_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "wal/log_buffer.h"
+
+namespace mv3c::wal {
+
+/// Durability configuration; passed to TransactionManager::EnableWal or a
+/// standalone LogManager (SV engines).
+struct WalConfig {
+  /// How committers learn their transaction is durable.
+  enum class Ack : uint8_t {
+    /// WaitCommitDurable blocks until the commit's epoch is fsynced
+    /// (group commit: the wait is one epoch interval, shared by every
+    /// transaction in the epoch).
+    kSync,
+    /// WaitCommitDurable returns immediately; durability trails commit by
+    /// up to one epoch (the Silo/"async-ack" regime benchmarks use to
+    /// price the log out of the critical path).
+    kAsync,
+  };
+
+  std::string dir;  // log directory; created if absent
+  Ack ack = Ack::kSync;
+  /// Writer-thread wakeup cadence: an epoch is flushed at least this
+  /// often (sync waiters additionally kick the writer immediately).
+  uint32_t epoch_interval_us = 200;
+  /// Segment rotation threshold (bytes written past it close the file).
+  uint64_t segment_bytes = 64ull << 20;
+};
+
+/// The epoch-based group-commit redo log (Silo-style, DESIGN §5f):
+/// committers serialize their final write set into per-worker LogBuffers
+/// (see log_mvcc.h / log_sv.h); a single writer thread runs one *epoch*
+/// per round — bump the epoch counter, drain every buffer, append the
+/// batch as one CRC-framed block, fsync once — and publishes the round's
+/// epoch as durable. Transactions wait on their epoch tag (sync ack) or
+/// proceed immediately (async ack).
+///
+/// Lifecycle: the writer thread starts in the constructor and is joined by
+/// Stop()/the destructor after a final flush. TransactionManager declares
+/// its LogManager as the last member, so the thread is gone before the
+/// metrics registry or the arena tears down.
+///
+/// Failure model: any write/fsync failure — injected (kWalShortWrite,
+/// kWalCrashAfterAppend, kWalFsyncFail failpoints) or real — freezes the
+/// log in a `crashed` state: durable_epoch stops advancing, waiters are
+/// released with `false`, nothing more reaches the disk. That mimics a
+/// process crash from the log's point of view and is what the
+/// crash-chaos tests recover from.
+class LogManager {
+ public:
+  explicit LogManager(const WalConfig& config);
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+  ~LogManager();
+
+  /// Creates a per-worker staging buffer (manager-owned; stable address).
+  /// Executors cache one lazily per transaction context.
+  LogBuffer* CreateBuffer();
+
+  const WalConfig& config() const { return config_; }
+
+  uint64_t current_epoch() const {
+    return current_epoch_.load(std::memory_order_acquire);
+  }
+  uint64_t durable_epoch() const {
+    return durable_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Commit-path wait honoring the ack mode: blocks until `epoch` is
+  /// durable under kSync, returns immediately under kAsync. `epoch` 0
+  /// (nothing logged) is trivially durable. Returns false iff the log
+  /// crashed before the epoch became durable.
+  bool WaitCommitDurable(uint64_t epoch);
+
+  /// Blocks until `epoch` is durable regardless of ack mode (tests,
+  /// shutdown barriers). Returns false iff the log crashed first.
+  bool WaitDurable(uint64_t epoch);
+
+  /// Forces everything appended so far onto disk before returning.
+  /// Returns false iff the log crashed.
+  bool FlushNow();
+
+  /// Test hook: drops everything not yet flushed and freezes the log, as
+  /// a crash between buffer append and writer drain would. Idempotent.
+  void SimulateCrash();
+
+  /// Final flush + writer join + segment close. Idempotent; called by the
+  /// destructor. No concurrent appends may be in flight.
+  void Stop();
+
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// The log's own counters (wal_bytes, wal_records, epochs_flushed,
+  /// group_commit_size, wal_sync_waits, wal_segments, wal_flush_failures)
+  /// and the kLogSerialize/kLogFlush phase histograms. Benchmarks merge
+  /// this snapshot next to the engine registries.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  void WriterLoop();
+  /// Runs one epoch round: drain, append, fsync, publish. Returns false
+  /// on (injected or real) I/O failure — the caller freezes the log.
+  bool FlushRound();
+  void OpenNextSegment();
+  void CloseSegment();
+  /// Marks the log crashed and releases every waiter. Caller must NOT
+  /// hold mu_.
+  void EnterCrashedState();
+
+  WalConfig config_;
+
+  // Epoch protocol state (see LogBuffer's header comment).
+  std::atomic<uint64_t> current_epoch_{1};
+  std::atomic<uint64_t> durable_epoch_{0};
+  std::atomic<bool> crashed_{false};
+
+  // Buffer registry: append-only; LogBuffer addresses must stay stable.
+  std::mutex buffers_mu_;
+  std::deque<std::unique_ptr<LogBuffer>> buffers_;
+
+  // Writer-thread coordination.
+  std::mutex mu_;
+  std::condition_variable writer_cv_;   // wakes the writer
+  std::condition_variable durable_cv_;  // wakes WaitDurable callers
+  bool stop_requested_ = false;
+  bool flush_requested_ = false;
+  bool crash_requested_ = false;
+  std::thread writer_;
+
+  // Segment file state (writer thread only after construction).
+  int fd_ = -1;
+  uint32_t segment_index_ = 0;
+  uint64_t segment_written_ = 0;
+  std::vector<uint8_t> payload_;  // drain scratch, reused every round
+  std::vector<uint8_t> block_;    // header+payload assembly, reused
+
+  // Counters (see metrics()). Writer-thread-owned except wal_sync_waits_,
+  // which is bumped under mu_ by waiting committers.
+  uint64_t wal_bytes_ = 0;
+  uint64_t wal_records_ = 0;
+  uint64_t epochs_flushed_ = 0;
+  uint64_t group_commit_size_ = 0;  // largest single epoch, in records
+  uint64_t wal_sync_waits_ = 0;
+  uint64_t wal_segments_ = 0;
+  uint64_t wal_flush_failures_ = 0;
+
+  obs::MetricsRegistry metrics_;  // synchronized: writer + committers
+};
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_LOG_MANAGER_H_

@@ -1,0 +1,70 @@
+#ifndef MV3C_WAL_LOG_SV_H_
+#define MV3C_WAL_LOG_SV_H_
+
+// Commit-path redo serializer for the single-version engines (OCC, SILO).
+// Included by the engines only under -DMV3C_WAL=ON.
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sv/sv_transaction.h"
+#include "wal/log_manager.h"
+#include "wal/wal_format.h"
+
+namespace mv3c::wal {
+
+/// Serializes one committing SV transaction's write set into `buf`
+/// (created lazily from `lm`). MUST run while the transaction's writes are
+/// not yet visible to other committers — inside OCC's validation mutex,
+/// or between Silo's write-set locking and its TID publication. That
+/// ordering is what makes epoch prefixes causally consistent: a dependent
+/// transaction can only read these writes after they are published, so its
+/// own epoch-tag read (coherence-ordered on the same atomic) observes an
+/// epoch >= this one, and no durable prefix can contain the reader without
+/// the writer.
+///
+/// A transaction may write the same record more than once; every entry is
+/// logged in write order and recovery's stable sort preserves that order
+/// within the commit TID, so last-write-wins replay is exact.
+///
+/// Returns the epoch tag, or 0 when no write touched a WAL-registered
+/// table.
+inline uint64_t LogSvCommit(LogManager& lm, LogBuffer*& buf,
+                            const sv::SvTransaction& t,
+                            uint64_t commit_tid) {
+  bool any = false;
+  for (const sv::SvWrite& w : t.writes()) {
+    if (w.wal_table_id != 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return 0;
+  obs::ScopedPhaseTimer timer(&lm.metrics(), obs::Phase::kLogSerialize);
+  if (buf == nullptr) buf = lm.CreateBuffer();
+  return buf->AppendTransaction(
+      [&](std::vector<uint8_t>& out, uint32_t& n_records) {
+        for (const sv::SvWrite& w : t.writes()) {
+          if (w.wal_table_id == 0) continue;
+          const bool del = w.op == sv::SvWrite::Op::kDelete;
+          RecordHeader h{};
+          h.table_id = w.wal_table_id;
+          h.commit_ts = commit_tid;
+          h.column_mask = ~0ULL;  // single-version writes are full-row
+          h.key_bytes = w.key_bytes;
+          h.val_bytes = del ? 0 : static_cast<uint32_t>(w.size);
+          h.type = static_cast<uint8_t>(del ? RecordType::kDelete
+                                            : RecordType::kUpsert);
+          h.flags = static_cast<uint8_t>(
+              w.op == sv::SvWrite::Op::kInsert ? kFlagInsert : 0);
+          AppendRecord(out, h, w.key,
+                       del ? nullptr : t.arena() + w.buf_offset);
+          ++n_records;
+        }
+      });
+}
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_LOG_SV_H_

@@ -1,0 +1,50 @@
+#ifndef MV3C_WAL_RECOVERY_H_
+#define MV3C_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "wal/wal_format.h"
+
+namespace mv3c::wal {
+
+/// Outcome of one ReplayLogDir scan (returned, and good enough to assert
+/// torn-tail behavior on without reparsing the log).
+struct RecoveryReport {
+  uint32_t segments_scanned = 0;
+  uint64_t blocks_applied = 0;
+  uint64_t records_applied = 0;
+  /// Records whose table_id had no Catalog binding (schema drift; counted,
+  /// skipped, recovery continues).
+  uint64_t records_skipped_unknown_table = 0;
+  uint64_t max_epoch = 0;      // last durable epoch recovered
+  uint64_t max_commit_ts = 0;  // largest commit_ts applied
+  /// True when the scan stopped before the physical end of the log (torn
+  /// block, bad CRC, truncated file) — i.e. a crash tail was detected and
+  /// cut. The applied prefix is still transaction-consistent.
+  bool torn_tail = false;
+  std::string stop_reason;  // human-readable; empty for a clean log
+};
+
+/// Scans a log directory (segments in filename order), validates framing
+/// layer by layer — segment header, block magic + header CRC, payload
+/// length + payload CRC, per-record CRC, epoch monotonicity — and hands
+/// every record of every valid block to `apply` in commit-timestamp order
+/// (records are collected per scan and stable-sorted by commit_ts before
+/// application: workers interleave arbitrarily inside an epoch block, but
+/// version chains must be rebuilt oldest-first).
+///
+/// The scan stops at the FIRST invalid byte: everything before it is the
+/// longest durable prefix (group commit fsyncs whole blocks in epoch
+/// order, so nothing after a torn block can have been acknowledged).
+///
+/// `apply` returning false means "unknown table": the record is counted in
+/// records_skipped_unknown_table and the scan continues.
+RecoveryReport ReplayLogDir(
+    const std::string& dir,
+    const std::function<bool(const RecordView&)>& apply);
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_RECOVERY_H_

@@ -1,0 +1,153 @@
+#ifndef MV3C_WAL_WAL_FORMAT_H_
+#define MV3C_WAL_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/crc32.h"
+
+namespace mv3c::wal {
+
+/// On-disk layout of the redo log (DESIGN §5f). A log directory holds
+/// numbered segment files `wal-NNNNNN.log`; each segment is one
+/// SegmentHeader followed by a sequence of epoch blocks; each block is one
+/// BlockHeader followed by `payload_bytes` of concatenated records; each
+/// record is one RecordHeader followed by its key and after-image bytes.
+///
+/// Integrity is layered: the block header carries a CRC over itself plus a
+/// CRC over its payload (torn-tail detection — recovery stops at the first
+/// block whose framing does not check out), and every record additionally
+/// carries its own CRC so wal_dump can localize corruption to a record.
+///
+/// All multi-byte fields are host-endian: logs are recovery artifacts for
+/// the machine that wrote them, not an interchange format. Structs are
+/// written/read with memcpy; every field is explicit so there is no
+/// padding for uninitialized bytes to hide in (static_asserts below).
+
+inline constexpr char kSegmentMagic[8] = {'M', 'V', '3', 'C',
+                                          'W', 'A', 'L', '1'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kBlockMagic = 0xB10CED0Cu;
+
+struct SegmentHeader {
+  char magic[8];            // kSegmentMagic
+  uint32_t format_version;  // kFormatVersion
+  uint32_t header_crc;      // CRC32-C over magic + format_version
+};
+static_assert(sizeof(SegmentHeader) == 16);
+static_assert(std::is_trivially_copyable_v<SegmentHeader>);
+
+inline SegmentHeader MakeSegmentHeader() {
+  SegmentHeader h{};
+  std::memcpy(h.magic, kSegmentMagic, sizeof(h.magic));
+  h.format_version = kFormatVersion;
+  h.header_crc = crc32::Compute(&h, offsetof(SegmentHeader, header_crc));
+  return h;
+}
+
+inline bool ValidSegmentHeader(const SegmentHeader& h) {
+  return std::memcmp(h.magic, kSegmentMagic, sizeof(h.magic)) == 0 &&
+         h.format_version == kFormatVersion &&
+         h.header_crc == crc32::Compute(&h, offsetof(SegmentHeader,
+                                                     header_crc));
+}
+
+/// One group-commit epoch: everything the writer drained from the
+/// per-worker buffers in one round, made durable by a single fsync.
+/// Epochs are strictly increasing within and across segments. A
+/// transaction's records never span blocks (they are appended under one
+/// buffer-lock hold), so any prefix of valid blocks is
+/// transaction-consistent.
+struct BlockHeader {
+  uint32_t magic;       // kBlockMagic
+  uint32_t header_crc;  // CRC32-C over this header with header_crc zeroed
+  uint64_t epoch;
+  uint32_t payload_bytes;  // total record bytes following this header
+  uint32_t n_records;
+  uint32_t payload_crc;  // CRC32-C over the payload bytes
+  uint32_t reserved;
+};
+static_assert(sizeof(BlockHeader) == 32);
+static_assert(std::is_trivially_copyable_v<BlockHeader>);
+
+inline uint32_t BlockHeaderCrc(const BlockHeader& h) {
+  BlockHeader copy = h;
+  copy.header_crc = 0;
+  return crc32::Compute(&copy, sizeof(copy));
+}
+
+enum class RecordType : uint8_t {
+  kUpsert = 1,  // after-image replaces the row (update or insert)
+  kDelete = 2,  // tombstone; no after-image bytes
+};
+
+/// RecordHeader::flags bits.
+inline constexpr uint8_t kFlagInsert = 1u << 0;
+/// MV3C: the committing transaction went through at least one repair
+/// round; by construction the record still carries only the *final* write
+/// set (serialization reads the post-repair CommittedRecord), this flag
+/// just makes that visible to wal_dump and the tests that assert it.
+inline constexpr uint8_t kFlagRepaired = 1u << 1;
+
+struct RecordHeader {
+  uint32_t crc;  // CRC32-C over (this header with crc=0) + key + value
+  uint32_t table_id;
+  uint64_t commit_ts;    // MVCC commit timestamp / SV commit TID
+  uint64_t column_mask;  // columns modified (union over the transaction)
+  uint32_t key_bytes;
+  uint32_t val_bytes;  // 0 for deletes
+  uint8_t type;        // RecordType
+  uint8_t flags;
+  uint16_t reserved;
+  uint32_t reserved2;
+};
+static_assert(sizeof(RecordHeader) == 40);
+static_assert(std::is_trivially_copyable_v<RecordHeader>);
+
+/// Parsed view of one record inside a validated block; `key`/`val` point
+/// into the caller's buffer.
+struct RecordView {
+  RecordHeader header;
+  const uint8_t* key = nullptr;
+  const uint8_t* val = nullptr;
+};
+
+/// Appends one fully-formed record (header + key + value, CRC computed) to
+/// `out`. `h.crc` is ignored; `h.key_bytes`/`h.val_bytes` must match the
+/// spans passed in. Used by the SV serializer (which has contiguous key
+/// and after-image bytes at hand); the MVCC serializer encodes in place
+/// via the table virtuals (see log_mvcc.h) and patches the CRC the same
+/// way.
+inline void AppendRecord(std::vector<uint8_t>& out, RecordHeader h,
+                         const void* key, const void* val) {
+  const size_t base = out.size();
+  out.resize(base + sizeof(RecordHeader) + h.key_bytes + h.val_bytes);
+  uint8_t* p = out.data() + base;
+  h.crc = 0;
+  std::memcpy(p, &h, sizeof(h));
+  std::memcpy(p + sizeof(h), key, h.key_bytes);
+  if (h.val_bytes != 0) {
+    std::memcpy(p + sizeof(h) + h.key_bytes, val, h.val_bytes);
+  }
+  const uint32_t crc =
+      crc32::Compute(p, sizeof(h) + h.key_bytes + h.val_bytes);
+  std::memcpy(p, &crc, sizeof(crc));  // crc is the first header field
+}
+
+/// Verifies the CRC of a serialized record starting at `p` (which must
+/// span at least sizeof(RecordHeader) + key_bytes + val_bytes).
+inline bool RecordCrcOk(const uint8_t* p, const RecordHeader& h) {
+  RecordHeader zeroed = h;
+  zeroed.crc = 0;
+  uint32_t crc = crc32::Compute(&zeroed, sizeof(zeroed));
+  crc = crc32::Extend(crc, p + sizeof(RecordHeader),
+                      h.key_bytes + h.val_bytes);
+  return crc == h.crc;
+}
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_WAL_FORMAT_H_

@@ -113,7 +113,7 @@ Mv3cExecutor::Program Mv3cTatpProgram(TatpDb& db, const TatpParams& p) {
                     const WriteStatus ws = t.InsertRow(
                         db.call_forwarding,
                         {p.s_id, p.sf_type, p.start_time},
-                        CallForwardingRow{p.end_time, p.numberx});
+                        CallForwardingRow{p.numberx, p.end_time});
                     if (ws == WriteStatus::kDuplicateKey) {
                       return ExecStatus::kUserAbort;  // TATP: expected fail
                     }
@@ -215,7 +215,7 @@ OmvccExecutor::Program OmvccTatpProgram(TatpDb& db, const TatpParams& p) {
         const WriteStatus ws =
             t.InsertRow(db.call_forwarding,
                         CallForwardingKey{p.s_id, p.sf_type, p.start_time},
-                        CallForwardingRow{p.end_time, p.numberx});
+                        CallForwardingRow{p.numberx, p.end_time});
         if (ws == WriteStatus::kDuplicateKey) return ExecStatus::kUserAbort;
         if (ws == WriteStatus::kWwConflict) {
           return ExecStatus::kWriteWriteConflict;

@@ -31,6 +31,7 @@ struct SubscriberRow {
   uint32_t bits = 0;        // bit_1..bit_10
   uint32_t msc_location = 0;
   uint32_t vlr_location = 0;
+  char pad_[4] = {};  // explicit tail padding: WAL rows must have none
 
   void MergeFrom(const SubscriberRow& base, ColumnMask modified) {
     if (!modified.Contains(kColBits)) bits = base.bits;
@@ -42,29 +43,37 @@ struct SubscriberRow {
 struct AccessInfoKey {
   uint64_t s_id = 0;
   uint8_t ai_type = 0;  // 1..4
+  char pad_[7] = {};    // explicit tail padding: WAL keys must have none
   friend bool operator==(const AccessInfoKey&, const AccessInfoKey&) =
       default;
 };
 struct AccessInfoRow {
-  uint16_t data1 = 0;
-  uint16_t data2 = 0;
+  // data3 leads so the uint16 pair packs without internal padding (WAL
+  // rows must have none).
   uint64_t data3 = 0;
   uint64_t data4 = 0;
+  uint16_t data1 = 0;
+  uint16_t data2 = 0;
+  char pad_[4] = {};  // explicit tail padding
 };
 
 struct SpecialFacilityKey {
   uint64_t s_id = 0;
   uint8_t sf_type = 0;  // 1..4
+  char pad_[7] = {};    // explicit tail padding: WAL keys must have none
   friend bool operator==(const SpecialFacilityKey&,
                          const SpecialFacilityKey&) = default;
 };
 inline constexpr int kColIsActive = 0;
 inline constexpr int kColDataA = 1;
 struct SpecialFacilityRow {
-  bool is_active = true;
+  // data_b leads so the narrow members pack without internal padding (WAL
+  // rows must have none).
+  uint64_t data_b = 0;
   uint16_t error_cntrl = 0;
   uint16_t data_a = 0;
-  uint64_t data_b = 0;
+  bool is_active = true;
+  char pad_[3] = {};  // explicit tail padding
 
   void MergeFrom(const SpecialFacilityRow& base, ColumnMask modified) {
     if (!modified.Contains(kColIsActive)) is_active = base.is_active;
@@ -80,12 +89,16 @@ struct CallForwardingKey {
   uint64_t s_id = 0;
   uint8_t sf_type = 0;
   uint8_t start_time = 0;  // 0, 8, 16
+  char pad_[6] = {};       // explicit tail padding: WAL keys must have none
   friend bool operator==(const CallForwardingKey&,
                          const CallForwardingKey&) = default;
 };
 struct CallForwardingRow {
-  uint8_t end_time = 0;
+  // numberx leads so end_time packs without internal padding (WAL rows
+  // must have none).
   uint64_t numberx = 0;
+  uint8_t end_time = 0;
+  char pad_[7] = {};  // explicit tail padding
 };
 
 struct KeyHash {
@@ -145,10 +158,12 @@ class TatpDb {
           t.InsertRow(subscribers, s, row);
           const int n_ai = 1 + static_cast<int>(rng.NextBounded(4));
           for (int a = 1; a <= n_ai; ++a) {
-            t.InsertRow(access_info, {s, static_cast<uint8_t>(a)},
-                        AccessInfoRow{static_cast<uint16_t>(rng.Next()),
-                                      static_cast<uint16_t>(rng.Next()),
-                                      rng.Next(), rng.Next()});
+            AccessInfoRow ai;
+            ai.data1 = static_cast<uint16_t>(rng.Next());
+            ai.data2 = static_cast<uint16_t>(rng.Next());
+            ai.data3 = rng.Next();
+            ai.data4 = rng.Next();
+            t.InsertRow(access_info, {s, static_cast<uint8_t>(a)}, ai);
           }
           const int n_sf = 1 + static_cast<int>(rng.NextBounded(4));
           for (int f = 1; f <= n_sf; ++f) {
@@ -160,11 +175,11 @@ class TatpDb {
             t.InsertRow(special_facilities, {s, static_cast<uint8_t>(f)}, sf);
             for (uint8_t start : {0, 8, 16}) {
               if (rng.NextBounded(100) < 31) {
-                t.InsertRow(
-                    call_forwarding,
-                    {s, static_cast<uint8_t>(f), start},
-                    CallForwardingRow{static_cast<uint8_t>(start + 8),
-                                      rng.Next()});
+                CallForwardingRow cf;
+                cf.end_time = static_cast<uint8_t>(start + 8);
+                cf.numberx = rng.Next();
+                t.InsertRow(call_forwarding,
+                            {s, static_cast<uint8_t>(f), start}, cf);
               }
             }
           }

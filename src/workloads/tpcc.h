@@ -71,6 +71,7 @@ struct WarehouseRow {
   int32_t tax = 0;  // basis points
   char name[10] = {};
   char address[40] = {};
+  char pad_[2] = {};  // explicit tail padding: WAL rows must have none
 
   void MergeFrom(const WarehouseRow& base, ColumnMask modified) {
     if (!modified.Contains(kColWTax)) tax = base.tax;
@@ -87,6 +88,7 @@ struct DistrictRow {
   int32_t tax = 0;
   char name[10] = {};
   char address[40] = {};
+  char pad_[6] = {};  // explicit tail padding: WAL rows must have none
 
   void MergeFrom(const DistrictRow& base, ColumnMask modified) {
     if (!modified.Contains(kColDTax)) tax = base.tax;
@@ -111,6 +113,7 @@ struct CustomerRow {
   char street[40] = {};
   char phone[16] = {};
   char data[250] = {};
+  char pad_[5] = {};  // explicit tail padding: WAL rows must have none
 
   void MergeFrom(const CustomerRow& base, ColumnMask modified) {
     if (!modified.Contains(kColCInfo)) {
@@ -147,6 +150,7 @@ struct OrderRow {
   int32_t carrier_id = -1;  // -1 = undelivered
   uint8_t ol_cnt = 0;
   bool all_local = true;
+  char pad_[2] = {};  // explicit tail padding: WAL rows must have none
 
   void MergeFrom(const OrderRow& base, ColumnMask modified) {
     if (!modified.Contains(kColOCarrier)) carrier_id = base.carrier_id;
@@ -172,6 +176,7 @@ struct OrderLineRow {
   int64_t amount = 0;
   uint8_t quantity = 0;
   char dist_info[24] = {};
+  char pad_[7] = {};  // explicit tail padding: WAL rows must have none
 
   void MergeFrom(const OrderLineRow& base, ColumnMask modified) {
     if (!modified.Contains(kColOlDeliveryD)) delivery_d = base.delivery_d;
@@ -190,17 +195,21 @@ struct ItemRow {
   uint32_t im_id = 0;
   char name[24] = {};
   char data[50] = {};
+  char pad_[2] = {};  // explicit tail padding: WAL rows must have none
 };
 
 inline constexpr int kColSQuantity = 0;
 inline constexpr int kColSCounts = 1;
 struct StockRow {
-  int32_t quantity = 0;
+  // ytd leads so the int32 trio packs without internal padding (WAL rows
+  // must have none).
   int64_t ytd = 0;
+  int32_t quantity = 0;
   int32_t order_cnt = 0;
   int32_t remote_cnt = 0;
   char dist[10][24] = {};
   char data[50] = {};
+  char pad_[2] = {};  // explicit tail padding
 
   void MergeFrom(const StockRow& base, ColumnMask modified) {
     if (!modified.Contains(kColSQuantity)) quantity = base.quantity;

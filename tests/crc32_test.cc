@@ -1,0 +1,93 @@
+// CRC32-C unit tests: known-answer vectors, the incremental-update
+// contract, and hardware/table-path equivalence. These protect the WAL's
+// torn-tail detection — a CRC implementation drift would silently change
+// the on-disk format.
+
+#include "common/crc32.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mv3c {
+namespace {
+
+TEST(Crc32Test, CheckVector) {
+  // The canonical CRC32-C check value.
+  EXPECT_EQ(crc32::Compute("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, Rfc7143Vectors) {
+  // iSCSI (RFC 7143 / RFC 3720 B.4) test patterns.
+  uint8_t zeros[32];
+  std::memset(zeros, 0x00, sizeof(zeros));
+  EXPECT_EQ(crc32::Compute(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+  uint8_t ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(crc32::Compute(ones, sizeof(ones)), 0x62A8AB43u);
+
+  uint8_t incr[32];
+  for (int i = 0; i < 32; ++i) incr[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(crc32::Compute(incr, sizeof(incr)), 0x46DD794Eu);
+}
+
+TEST(Crc32Test, SingleByte) {
+  EXPECT_EQ(crc32::Compute("a", 1), 0xC1D04330u);
+}
+
+TEST(Crc32Test, EmptyIsZero) {
+  EXPECT_EQ(crc32::Compute(nullptr, 0), 0u);
+  EXPECT_EQ(crc32::Extend(0x12345678u, nullptr, 0), 0x12345678u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  // Feeding a buffer in arbitrary splits must equal the one-shot value —
+  // RecordCrcOk extends a header CRC over the key/value bytes.
+  std::vector<uint8_t> buf(1027);
+  uint64_t x = 0x243F6A8885A308D3ull;  // deterministic pseudo-random fill
+  for (auto& b : buf) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<uint8_t>(x >> 56);
+  }
+  const uint32_t oneshot = crc32::Compute(buf.data(), buf.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                       size_t{512}, buf.size() - 1, buf.size()}) {
+    uint32_t c = crc32::Extend(0, buf.data(), split);
+    c = crc32::Extend(c, buf.data() + split, buf.size() - split);
+    EXPECT_EQ(c, oneshot) << "split at " << split;
+  }
+  // Many small chunks of awkward sizes.
+  uint32_t c = 0;
+  size_t off = 0;
+  for (size_t step = 1; off < buf.size(); step = step * 2 + 1) {
+    const size_t n = std::min(step, buf.size() - off);
+    c = crc32::Extend(c, buf.data() + off, n);
+    off += n;
+  }
+  EXPECT_EQ(c, oneshot);
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  const uint32_t base = crc32::Compute(msg.data(), msg.size());
+  for (size_t i = 0; i < msg.size(); i += 5) {
+    std::string corrupt = msg;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    EXPECT_NE(crc32::Compute(corrupt.data(), corrupt.size()), base);
+  }
+}
+
+TEST(Crc32Test, HardwarePathSmoke) {
+  // Whichever path dispatch picked must produce the canonical values
+  // (covered above); this just records which one runs so a CI log shows
+  // whether the SSE4.2 path got exercised.
+  SUCCEED() << "hardware crc32: "
+            << (crc32::HardwareAccelerated() ? "yes" : "no");
+}
+
+}  // namespace
+}  // namespace mv3c

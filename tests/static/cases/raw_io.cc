@@ -1,0 +1,16 @@
+// Lint-rule case (no_raw_io_outside_wal.query): raw durable-file I/O
+// outside src/wal/ bypasses the log manager's epoch/CRC framing and its
+// byte accounting. Compiles fine; the lint self-test plants it under a
+// src/-shaped path and expects the rule to fire.
+#include <cstdio>
+#include <unistd.h>
+
+int main() {
+  std::FILE* f = std::fopen("/dev/null", "wb");
+  if (f == nullptr) return 1;
+  const char byte = 'x';
+  std::fwrite(&byte, 1, 1, f);  // rule hit: durable writes go through wal/
+  fsync(fileno(f));             // rule hit: fsync is the WAL's monopoly
+  std::fclose(f);
+  return 0;
+}

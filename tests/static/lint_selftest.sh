@@ -50,7 +50,7 @@ FAILED=0
 
 # 1. Every rule must fire on its violation case.
 make_db "${SCRATCH}/violations" \
-  raw_new_version.cc bare_lock_guard.cc stats_outside_obs.cc
+  raw_new_version.cc bare_lock_guard.cc stats_outside_obs.cc raw_io.cc
 OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
        "${SCRATCH}/violations" 2>&1)"
 if [[ $? -ne 1 ]]; then
@@ -58,7 +58,8 @@ if [[ $? -ne 1 ]]; then
   printf '%s\n' "${OUT}"
   FAILED=1
 fi
-for rule in no_raw_version_new no_stats_outside_obs no_bare_lock_guard; do
+for rule in no_raw_version_new no_stats_outside_obs no_bare_lock_guard \
+            no_raw_io_outside_wal; do
   if ! printf '%s\n' "${OUT}" | grep -q "FAIL ${rule}"; then
     echo "FAIL: rule ${rule} did not fire on its violation case. Output:"
     printf '%s\n' "${OUT}"
