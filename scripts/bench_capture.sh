@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Captures a benchmark baseline: runs every RUNJSON-emitting bench binary
+# and collects their RUNJSON lines into one JSON array (default
+# BENCH_baseline.json) with a small metadata header. Quick (CI) scale by
+# default; MV3C_BENCH_FULL=1 switches to paper-scale inputs.
+#
+#   usage: scripts/bench_capture.sh [build_dir] [out_file]
+#
+# ROADMAP calls for committing the baseline before the WAL-parallelization
+# work starts, so perf regressions there have something to diff against.
+set -u
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_baseline.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+fail=0
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  case "$name" in
+    micro_core) continue ;;  # google-benchmark harness, no RUNJSON
+  esac
+  echo "===== $name =====" >&2
+  if ! "$b" > "$TMP.run" 2>&1; then
+    echo "FAILED: $name (exit $?)" >&2
+    tail -5 "$TMP.run" >&2
+    fail=1
+    continue
+  fi
+  grep '^RUNJSON ' "$TMP.run" | sed 's/^RUNJSON //' >> "$TMP"
+  rm -f "$TMP.run"
+done
+
+n="$(wc -l < "$TMP")"
+{
+  printf '{\n'
+  printf '  "captured": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "git": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "scale": "%s",\n' "${MV3C_BENCH_FULL:+full}${MV3C_BENCH_FULL:-quick}"
+  printf '  "runs": [\n'
+  awk '{ printf "    %s%s\n", $0, (NR=='"$n"' ? "" : ",") }' "$TMP"
+  printf '  ]\n}\n'
+} > "$OUT"
+echo "wrote $OUT ($n runs)" >&2
+exit $fail

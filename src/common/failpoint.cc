@@ -170,6 +170,14 @@ const char* Name(Site site) {
       return "wal-crash-after-append";
     case Site::kWalFsyncFail:
       return "wal-fsync-fail";
+    case Site::kCkptCrashMidSegment:
+      return "ckpt-crash-mid-segment";
+    case Site::kCkptCrashBeforeManifest:
+      return "ckpt-crash-before-manifest";
+    case Site::kCkptCrashAfterManifestBeforeTruncate:
+      return "ckpt-crash-after-manifest-before-truncate";
+    case Site::kCkptFsyncFail:
+      return "ckpt-fsync-fail";
     case Site::kNumSites:
       break;
   }

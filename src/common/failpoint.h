@@ -61,6 +61,21 @@ enum class Site : uint8_t {
   /// LogManager::FlushRound — firing makes the epoch's fsync fail; the log
   /// freezes without acknowledging the epoch.
   kWalFsyncFail,
+  /// Checkpointer::TakeCheckpoint — firing truncates a checkpoint table
+  /// segment mid-write (half its bytes reach the file) and aborts the
+  /// checkpoint, leaving a torn segment with no manifest pointing at it.
+  kCkptCrashMidSegment,
+  /// Checkpointer::TakeCheckpoint — firing aborts after every table
+  /// segment is durable but before the manifest is published: the
+  /// checkpoint data exists yet must be invisible to recovery.
+  kCkptCrashBeforeManifest,
+  /// Checkpointer::TakeCheckpoint — firing aborts after the manifest is
+  /// published but before WAL truncation / old-checkpoint retirement:
+  /// recovery must prefer the new manifest and tolerate the extra history.
+  kCkptCrashAfterManifestBeforeTruncate,
+  /// Checkpointer::TakeCheckpoint — firing makes a checkpoint fsync fail;
+  /// the checkpoint aborts without publishing (and without truncating).
+  kCkptFsyncFail,
 
   kNumSites,
 };

@@ -203,6 +203,31 @@ class TransactionManager {
   /// must have rolled back its writes already.
   void FinishAborted(Transaction* t) { ReleaseSlot(t->slot()); }
 
+  /// A checkpoint reader's hold on the MVCC history: while pinned, the GC
+  /// watermark (OldestActiveStart) cannot pass `ts`, so every version
+  /// visible at `ts` survives the scan.
+  struct SnapshotPin {
+    Timestamp ts = 0;
+    uint32_t slot = 0;
+  };
+
+  /// Pins a consistent read-only snapshot at the current timestamp-sequence
+  /// value, exactly like Begin pins a transaction's start: the slot is
+  /// registered under the commit lock before any later commit can draw its
+  /// timestamp, so a FindVisible(ts, 0) scan sees precisely the commits
+  /// with commit_ts < ts — and every commit it does NOT see serializes
+  /// after the pin (its redo epoch tag is drawn later still). The sequence
+  /// is not advanced: readers need no unique timestamp.
+  SnapshotPin PinSnapshot() MV3C_EXCLUDES(commit_lock_) {
+    SpinLockGuard g(commit_lock_);
+    SnapshotPin pin;
+    pin.ts = ts_seq_.load(std::memory_order_relaxed);
+    pin.slot = AcquireSlot(pin.ts);
+    return pin;
+  }
+
+  void ReleaseSnapshot(const SnapshotPin& pin) { ReleaseSlot(pin.slot); }
+
   /// Oldest start timestamp among active transactions, or kIdleSlot
   /// ("infinity") if none are active. Superseded versions below this
   /// watermark can be reclaimed, and retired nodes with era below it freed.

@@ -57,6 +57,7 @@ enum class Phase : uint8_t {
   kArenaRetire,   // VersionArena slab retirement/recycling
   kLogSerialize,  // WAL: write-set serialization inside the commit lock
   kLogFlush,      // WAL: one group-commit epoch round (drain+append+fsync)
+  kCheckpoint,    // WAL: one fuzzy checkpoint (scan+stream+manifest publish)
   kNumPhases,
 };
 
@@ -65,7 +66,8 @@ inline constexpr int kNumPhases = static_cast<int>(Phase::kNumPhases);
 inline const char* PhaseName(Phase p) {
   static constexpr const char* kNames[kNumPhases] = {
       "execute",      "validate",  "repair",   "commit",
-      "gc",           "arena_retire", "log_serialize", "log_flush"};
+      "gc",           "arena_retire", "log_serialize", "log_flush",
+      "checkpoint"};
   return kNames[static_cast<int>(p)];
 }
 

@@ -51,19 +51,23 @@ class OccEngine {
     }
     const uint64_t commit_tid =
         tid_seq_.fetch_add(1, std::memory_order_relaxed);
-    // Serialize redo BEFORE installing: the mutex keeps the writes
-    // invisible to dependent committers until after our epoch tag is
-    // drawn, so durable epoch prefixes stay causally consistent (see
-    // wal/log_sv.h).
+    // Serialize redo and install in one buffer-lock hold (wal/log_sv.h):
+    // the mutex keeps the writes invisible to dependent committers until
+    // after our epoch tag is drawn (causal epoch prefixes), and the shared
+    // lock hold keeps fuzzy checkpoints from missing commits whose epochs
+    // they truncate.
 #if defined(MV3C_WAL_ENABLED)
     if (wal_ != nullptr) {
-      const uint64_t e = wal::LogSvCommit(*wal_, wal_buf_, t, commit_tid);
+      const uint64_t e =
+          wal::LogSvCommitAndInstall(*wal_, wal_buf_, t, commit_tid);
       if (wal_epoch_out != nullptr) *wal_epoch_out = e;
+    } else {
+      sv::InstallWrites(t, commit_tid);
     }
 #else
     (void)wal_epoch_out;
-#endif
     sv::InstallWrites(t, commit_tid);
+#endif
     if (commit_tid_out != nullptr) *commit_tid_out = commit_tid;
     return true;
   }

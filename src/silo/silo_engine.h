@@ -105,22 +105,26 @@ class SiloEngine {
     max_tid = std::max(max_tid, last_tid_);
     const uint64_t commit_tid = max_tid + 1;
     last_tid_ = commit_tid;
-    // Serialize redo BEFORE installing: the write set is still locked, so
-    // a dependent transaction cannot read these writes (and draw its own,
-    // possibly earlier, epoch tag) until after ours is drawn — durable
-    // epoch prefixes stay causally consistent (see wal/log_sv.h). Silo
-    // TIDs are per-engine, but conflicting transactions always have
-    // ordered TIDs (locks/reads propagate max_tid), so TID-sorted replay
-    // is correct.
+    // Serialize redo and install in one buffer-lock hold (wal/log_sv.h):
+    // the write set is still locked, so a dependent transaction cannot
+    // read these writes (and draw its own, possibly earlier, epoch tag)
+    // until after ours is drawn — durable epoch prefixes stay causally
+    // consistent — and the shared lock hold keeps fuzzy checkpoints from
+    // missing commits whose epochs they truncate. Silo TIDs are
+    // per-engine, but conflicting transactions always have ordered TIDs
+    // (locks/reads propagate max_tid), so TID-sorted replay is correct.
 #if defined(MV3C_WAL_ENABLED)
     if (wal_ != nullptr) {
-      const uint64_t e = wal::LogSvCommit(*wal_, wal_buf_, t, commit_tid);
+      const uint64_t e =
+          wal::LogSvCommitAndInstall(*wal_, wal_buf_, t, commit_tid);
       if (wal_epoch_out != nullptr) *wal_epoch_out = e;
+    } else {
+      sv::InstallWrites(t, commit_tid);  // clears the lock bits
     }
 #else
     (void)wal_epoch_out;
-#endif
     sv::InstallWrites(t, commit_tid);  // clears the lock bits
+#endif
     if (commit_tid_out != nullptr) *commit_tid_out = commit_tid;
     return true;
   }

@@ -110,6 +110,34 @@ class SvTable {
     r->tid.store((tid & kTidMask) | kAbsentBit, std::memory_order_release);
   }
 
+  /// Conditional loads for checkpoint-based recovery: the WAL suffix may
+  /// replay a commit the checkpoint already captured (the fuzzy scan races
+  /// installs of epochs past the cut), so a load only applies when its TID
+  /// is at least as new as what the record holds. Equal TIDs re-apply: the
+  /// suffix record is then the very commit the checkpoint captured (or a
+  /// later write of the same multi-write transaction), so re-application
+  /// is idempotent — and required for last-write-wins within one TID.
+  /// Fresh records carry version 0 (the ABSENT sentinel masks to 0), so
+  /// loading into an empty table degenerates to the unconditional paths.
+  void LoadRowIfNewer(const K& key, const RowT& row, uint64_t tid) {
+    Rec* r = GetOrCreate(key);
+    if ((tid & kTidMask) <
+        (r->tid.load(std::memory_order_acquire) & kTidMask)) {
+      return;
+    }
+    r->row = row;
+    r->tid.store(tid & kTidMask, std::memory_order_release);
+  }
+
+  void LoadTombstoneIfNewer(const K& key, uint64_t tid) {
+    Rec* r = GetOrCreate(key);
+    if ((tid & kTidMask) <
+        (r->tid.load(std::memory_order_acquire) & kTidMask)) {
+      return;
+    }
+    r->tid.store((tid & kTidMask) | kAbsentBit, std::memory_order_release);
+  }
+
   size_t RecordCount() const { return index_.Size(); }
 
   /// Applies `fn(const K&, const Rec&)` to every record, live or ABSENT

@@ -1,0 +1,170 @@
+#ifndef MV3C_WAL_CHECKPOINT_H_
+#define MV3C_WAL_CHECKPOINT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "wal/checkpoint_format.h"
+#include "wal/log_manager.h"
+#include "wal/wal_format.h"
+
+namespace mv3c::wal {
+
+/// Receives one row image during a checkpoint table scan. `h.crc` is
+/// ignored (the writer computes it); key/val must span h.key_bytes /
+/// h.val_bytes.
+using CheckpointSink =
+    std::function<void(const RecordHeader& h, const void* key,
+                       const void* val)>;
+
+/// One table's contribution to a checkpoint, type-erased so the
+/// checkpointer needs no knowledge of MVCC or SV storage (the WAL library
+/// sits below both in the link graph; wal::Catalog builds these closures
+/// where the table types are visible).
+struct CheckpointTableSource {
+  uint32_t table_id = 0;
+  CkptTableKind kind = CkptTableKind::kMvcc;
+  /// MVCC: the pinned snapshot timestamp the scan reads at (commits with
+  /// commit_ts < scan_ts are captured, everything else is left to the WAL
+  /// suffix). SV: 0 — fuzzy per-record TID stamps take its place.
+  uint64_t scan_ts = 0;
+  std::function<void(const CheckpointSink&)> scan;
+};
+
+/// Everything a checkpoint round needs: the per-table scans (with MVCC
+/// snapshot pins already taken — scan_ts is fixed) and a release hook
+/// dropping those pins. The provider is called at the START of each round,
+/// strictly after the checkpointer reads the durable epoch; that order is
+/// what makes the cut correct (DESIGN §5g).
+struct CheckpointSources {
+  std::vector<CheckpointTableSource> tables;
+  std::function<void()> release;  // may be empty (no MVCC pins)
+};
+
+struct CheckpointConfig {
+  /// Checkpoint directory — must be the WAL directory (manifests and
+  /// segment subdirectories live next to the log they subsume).
+  std::string dir;
+  /// Background cadence; 0 disables the thread (TakeCheckpoint() only).
+  uint32_t interval_ms = 0;
+  /// Delete WAL segments wholly below the previous checkpoint's cut after
+  /// publishing a new manifest (two valid checkpoints always retain their
+  /// full suffixes — fallback never dangles).
+  bool truncate_wal = true;
+  /// Manifests kept on disk; older checkpoints are retired after a
+  /// successful publish. Minimum 2: the newest plus one fallback.
+  uint64_t retain = 2;
+};
+
+/// The fuzzy checkpointer (DESIGN §5g): periodically (or on demand)
+/// streams a consistent snapshot of every registered table into CRC-framed
+/// segment files, atomically publishes a manifest, then truncates WAL
+/// history the previous checkpoint already subsumes.
+///
+/// Failure model mirrors LogManager: any I/O failure — injected
+/// (kCkptCrashMidSegment, kCkptCrashBeforeManifest,
+/// kCkptCrashAfterManifestBeforeTruncate, kCkptFsyncFail failpoints) or
+/// real — freezes the checkpointer in a `failed` state; partial on-disk
+/// debris is left exactly as a crash would leave it, which is what the
+/// chaos tests recover from. A failed checkpointer never truncates.
+class Checkpointer {
+ public:
+  Checkpointer(const CheckpointConfig& config, LogManager* lm,
+               std::function<CheckpointSources()> sources);
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+  ~Checkpointer();
+
+  /// Runs one synchronous checkpoint round. Returns false if the round
+  /// failed (the checkpointer freezes) or the checkpointer/log had already
+  /// failed. Serialized against the background thread.
+  bool TakeCheckpoint();
+
+  /// Joins the background thread. Idempotent; called by the destructor.
+  void Stop();
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  /// Sequence number of the newest successfully published checkpoint; 0
+  /// if none yet.
+  uint64_t published_seq() const {
+    return published_seq_.load(std::memory_order_acquire);
+  }
+
+  /// ckpt_* counters (rounds, records, bytes, failures, truncated WAL
+  /// segments, retired checkpoints) and the kCheckpoint phase histogram.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  void BackgroundLoop();
+  /// One round; returns false on failure. Caller holds round_mu_.
+  bool RunRound();
+  bool WriteTableSegment(const std::string& dir_path,
+                         const CheckpointTableSource& src, uint64_t seq,
+                         ManifestTableEntry* entry);
+  bool PublishManifest(uint64_t seq,
+                       const std::vector<ManifestTableEntry>& entries,
+                       uint64_t cut_epoch);
+  void RetireOldCheckpoints(uint64_t newest_seq);
+
+  const CheckpointConfig config_;
+  LogManager* const lm_;
+  const std::function<CheckpointSources()> sources_;
+
+  std::mutex round_mu_;  // serializes TakeCheckpoint vs the thread
+  std::atomic<bool> failed_{false};
+  std::atomic<uint64_t> published_seq_{0};
+  uint64_t next_seq_ = 1;      // under round_mu_
+  uint64_t prev_cut_epoch_ = 0;  // cut of the previous manifest; 0 = none
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  // Counters (round_mu_ holder only).
+  uint64_t ckpt_rounds_ = 0;
+  uint64_t ckpt_records_ = 0;
+  uint64_t ckpt_bytes_ = 0;
+  uint64_t ckpt_failures_ = 0;
+  uint64_t ckpt_wal_segments_truncated_ = 0;
+  uint64_t ckpt_retired_ = 0;
+
+  obs::MetricsRegistry metrics_;
+};
+
+/// --- Offline manifest access (recovery, wal_dump) ---
+
+struct Manifest {
+  ManifestHeader header{};
+  std::vector<ManifestTableEntry> tables;
+};
+
+/// Checkpoint sequence numbers with a manifest file present under `dir`,
+/// ascending. Presence only — validation happens in ReadManifest.
+std::vector<uint64_t> ListManifestSeqs(const std::string& dir);
+
+/// Reads and fully validates (magic, version, whole-manifest CRC) the
+/// manifest for `seq`. False on any damage — a torn manifest is treated
+/// as absent, never as current.
+bool ReadManifest(const std::string& dir, uint64_t seq, Manifest* out);
+
+/// Reads one checkpoint table segment and validates every layer — header,
+/// whole-file CRC and byte count against the manifest entry, per-record
+/// CRC and record count — before returning. On success `*records` holds
+/// views into `*buf` (which must outlive them). False on any damage, with
+/// nothing partially returned.
+bool LoadCkptSegment(const std::string& dir, uint64_t seq,
+                     const ManifestTableEntry& entry,
+                     std::vector<uint8_t>* buf,
+                     std::vector<RecordView>* records);
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_CHECKPOINT_H_

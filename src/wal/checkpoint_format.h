@@ -1,0 +1,155 @@
+#ifndef MV3C_WAL_CHECKPOINT_FORMAT_H_
+#define MV3C_WAL_CHECKPOINT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "common/crc32.h"
+#include "wal/wal_format.h"
+
+namespace mv3c::wal {
+
+/// On-disk layout of a checkpoint (DESIGN §5g). A checkpoint with sequence
+/// number S consists of a directory `ckpt-SSSSSS/` holding one segment
+/// file `table-NNNN.ckpt` per registered table, plus a manifest file
+/// `MANIFEST-SSSSSS` in the log directory itself. Both live inside the WAL
+/// directory, so one directory captures the full durable state.
+///
+/// A table segment is one CkptSegmentHeader followed by a sequence of WAL
+/// records (the exact RecordHeader + key + after-image framing of
+/// wal_format.h, one record per live row or tombstone). Reusing the WAL
+/// record format means per-record CRC32-C comes for free, recovery loads
+/// checkpoint rows through the same Catalog bindings that replay the log,
+/// and wal_dump prints both with one code path.
+///
+/// The manifest is the atomicity point: it is written to a `.tmp` file,
+/// fsynced, renamed into place, and the directory fsynced — so it either
+/// exists completely or not at all, and no recovery can observe a
+/// half-written checkpoint as current. It carries the checkpoint's cut
+/// epoch (every WAL epoch <= cut is subsumed), the snapshot timestamp, and
+/// per-table {record count, byte count, whole-file CRC} so segment damage
+/// is detected before a single record is applied.
+///
+/// Same host-endian memcpy conventions as the WAL format: checkpoints are
+/// recovery artifacts for the machine that wrote them.
+
+inline constexpr char kCkptSegmentMagic[8] = {'M', 'V', '3', 'C',
+                                              'C', 'K', 'P', '1'};
+inline constexpr char kManifestMagic[8] = {'M', 'V', '3', 'C',
+                                           'M', 'A', 'N', '1'};
+inline constexpr uint32_t kCkptFormatVersion = 1;
+
+struct CkptSegmentHeader {
+  char magic[8];            // kCkptSegmentMagic
+  uint32_t format_version;  // kCkptFormatVersion
+  uint32_t table_id;
+  uint64_t checkpoint_seq;  // owning checkpoint (cross-check vs manifest)
+  uint32_t reserved;
+  uint32_t header_crc;  // CRC32-C over all prior fields
+};
+static_assert(sizeof(CkptSegmentHeader) == 32);
+static_assert(std::is_trivially_copyable_v<CkptSegmentHeader>);
+
+inline CkptSegmentHeader MakeCkptSegmentHeader(uint32_t table_id,
+                                               uint64_t seq) {
+  CkptSegmentHeader h{};
+  std::memcpy(h.magic, kCkptSegmentMagic, sizeof(h.magic));
+  h.format_version = kCkptFormatVersion;
+  h.table_id = table_id;
+  h.checkpoint_seq = seq;
+  h.header_crc =
+      crc32::Compute(&h, offsetof(CkptSegmentHeader, header_crc));
+  return h;
+}
+
+inline bool ValidCkptSegmentHeader(const CkptSegmentHeader& h) {
+  return std::memcmp(h.magic, kCkptSegmentMagic, sizeof(h.magic)) == 0 &&
+         h.format_version == kCkptFormatVersion &&
+         h.header_crc ==
+             crc32::Compute(&h, offsetof(CkptSegmentHeader, header_crc));
+}
+
+/// How a manifest table entry's records replay against the WAL suffix.
+enum class CkptTableKind : uint8_t {
+  /// MVCC table: the segment holds the newest committed version of each
+  /// row visible at scan_ts. Suffix records with commit_ts < scan_ts are
+  /// already captured and MUST be skipped (applying them would push older
+  /// timestamps on top of the loaded chain heads).
+  kMvcc = 1,
+  /// Single-version table: the segment holds TID-stamped row images from
+  /// a fuzzy scan; the suffix replays through the if-newer load paths.
+  kSv = 2,
+};
+
+struct ManifestTableEntry {
+  uint32_t table_id;
+  uint8_t kind;  // CkptTableKind
+  uint8_t reserved8;
+  uint16_t reserved16;
+  uint64_t scan_ts;       // MVCC snapshot timestamp; 0 for SV tables
+  uint64_t record_count;  // records in the table segment
+  uint64_t file_bytes;    // total segment size, header included
+  uint32_t file_crc;      // CRC32-C over the entire segment file
+  uint32_t reserved32;
+};
+static_assert(sizeof(ManifestTableEntry) == 40);
+static_assert(std::is_trivially_copyable_v<ManifestTableEntry>);
+
+struct ManifestHeader {
+  char magic[8];            // kManifestMagic
+  uint32_t format_version;  // kCkptFormatVersion
+  uint32_t n_tables;
+  uint64_t checkpoint_seq;
+  /// Largest MVCC scan timestamp across the entries (diagnostics; the
+  /// per-table scan_ts values are authoritative for replay filtering).
+  uint64_t checkpoint_ts;
+  /// Every WAL epoch <= cut_epoch was durable before the scan began, so
+  /// the checkpoint subsumes it; recovery replays only epochs > cut_epoch.
+  uint64_t cut_epoch;
+  /// CRC32-C over this header (with manifest_crc zeroed) plus all table
+  /// entries — the whole manifest validates as one unit.
+  uint32_t manifest_crc;
+  uint32_t reserved;
+};
+static_assert(sizeof(ManifestHeader) == 48);
+static_assert(std::is_trivially_copyable_v<ManifestHeader>);
+
+/// CRC over (header with manifest_crc zeroed) + the entry array.
+inline uint32_t ManifestCrc(const ManifestHeader& h,
+                            const ManifestTableEntry* entries,
+                            uint32_t n_tables) {
+  ManifestHeader copy = h;
+  copy.manifest_crc = 0;
+  uint32_t crc = crc32::Compute(&copy, sizeof(copy));
+  return crc32::Extend(crc, entries,
+                       static_cast<size_t>(n_tables) *
+                           sizeof(ManifestTableEntry));
+}
+
+inline std::string CkptDirName(uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06llu",
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+inline std::string ManifestName(uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "MANIFEST-%06llu",
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+inline std::string CkptTableFileName(uint32_t table_id) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "table-%04u.ckpt", table_id);
+  return name;
+}
+
+}  // namespace mv3c::wal
+
+#endif  // MV3C_WAL_CHECKPOINT_FORMAT_H_

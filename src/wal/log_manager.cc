@@ -209,16 +209,47 @@ bool LogManager::FlushRound() {
 
   durable_epoch_.store(epoch, std::memory_order_release);
   segment_written_ += block_.size();
+  segment_max_epoch_ = epoch;
   wal_bytes_ += block_.size();
   wal_records_ += n_records;
   ++epochs_flushed_;
   if (n_records > group_commit_size_) group_commit_size_ = n_records;
 
   if (segment_written_ >= config_.segment_bytes) {
+    {
+      // Published under the lock so a concurrent truncation sees the
+      // segment only once its byte range is final.
+      std::lock_guard<std::mutex> g(segments_mu_);
+      closed_segments_.push_back({segment_index_, segment_max_epoch_});
+    }
     CloseSegment();
     OpenNextSegment();
   }
   return true;
+}
+
+uint64_t LogManager::TruncateSegmentsBefore(uint64_t cut_epoch) {
+  if (crashed()) return 0;
+  uint64_t deleted = 0;
+  std::lock_guard<std::mutex> g(segments_mu_);
+  // Oldest-first, stopping at the first keeper: recovery relies on the
+  // remaining files being a contiguous, monotonically-numbered suffix.
+  while (!closed_segments_.empty() &&
+         closed_segments_.front().max_epoch <= cut_epoch) {
+    const std::string path =
+        SegmentPath(config_.dir, closed_segments_.front().index);
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) break;
+    closed_segments_.pop_front();
+    ++deleted;
+  }
+  if (deleted > 0) {
+    const int dfd = ::open(config_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return deleted;
 }
 
 void LogManager::OpenNextSegment() {
@@ -237,6 +268,7 @@ void LogManager::OpenNextSegment() {
     ::close(dfd);
   }
   segment_written_ = sizeof(h);
+  segment_max_epoch_ = 0;
   ++wal_segments_;
 }
 

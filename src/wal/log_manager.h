@@ -103,6 +103,16 @@ class LogManager {
 
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
+  /// Deletes closed segment files whose every block has epoch <=
+  /// `cut_epoch` (the checkpointer's truncation hook: those epochs are
+  /// subsumed by a published checkpoint). Deletion runs oldest-first and
+  /// stops at the first segment that must stay, so the remaining files are
+  /// always a contiguous suffix; the open segment is never touched. Safe
+  /// to call from any thread; no-op on a crashed log (a frozen log's tail
+  /// diagnosis must not be disturbed). Returns the number of segments
+  /// deleted.
+  uint64_t TruncateSegmentsBefore(uint64_t cut_epoch);
+
   /// The log's own counters (wal_bytes, wal_records, epochs_flushed,
   /// group_commit_size, wal_sync_waits, wal_segments, wal_flush_failures)
   /// and the kLogSerialize/kLogFlush phase histograms. Benchmarks merge
@@ -144,6 +154,17 @@ class LogManager {
   int fd_ = -1;
   uint32_t segment_index_ = 0;
   uint64_t segment_written_ = 0;
+  uint64_t segment_max_epoch_ = 0;  // largest block epoch in the open file
+
+  /// Closed segments still on disk, oldest first, with the largest block
+  /// epoch each contains — what TruncateSegmentsBefore consults. Writer
+  /// appends at rotation; the checkpointer thread pops at truncation.
+  struct ClosedSegment {
+    uint32_t index;
+    uint64_t max_epoch;
+  };
+  std::mutex segments_mu_;
+  std::deque<ClosedSegment> closed_segments_;
   std::vector<uint8_t> payload_;  // drain scratch, reused every round
   std::vector<uint8_t> block_;    // header+payload assembly, reused
 

@@ -15,24 +15,41 @@
 namespace mv3c::wal {
 
 /// Serializes one committing SV transaction's write set into `buf`
-/// (created lazily from `lm`). MUST run while the transaction's writes are
-/// not yet visible to other committers — inside OCC's validation mutex,
-/// or between Silo's write-set locking and its TID publication. That
-/// ordering is what makes epoch prefixes causally consistent: a dependent
-/// transaction can only read these writes after they are published, so its
-/// own epoch-tag read (coherence-ordered on the same atomic) observes an
-/// epoch >= this one, and no durable prefix can contain the reader without
-/// the writer.
+/// (created lazily from `lm`) and installs it into memory via
+/// sv::InstallWrites — the install runs INSIDE the buffer-lock hold,
+/// immediately after serialization. MUST run while the transaction's
+/// writes are not yet visible to other committers — inside OCC's
+/// validation mutex, or between Silo's write-set locking and its TID
+/// publication.
+///
+/// Two orderings hang off this single lock hold:
+///
+///  * Causal consistency of epoch prefixes: redo is serialized before the
+///    writes become visible, so a dependent transaction can only read them
+///    after publication, and its own epoch-tag read (coherence-ordered on
+///    the same atomic) observes an epoch >= this one — no durable prefix
+///    contains the reader without the writer.
+///
+///  * Checkpoint completeness: the group-commit writer drains this buffer
+///    under the same lock, so by the time epoch E is durable, every
+///    transaction tagged <= E has also finished installing. A fuzzy
+///    checkpoint that reads durable_epoch = D *before* scanning therefore
+///    cannot miss a commit whose records it is about to truncate — any
+///    install it races carries a tag > D and stays in the retained WAL
+///    suffix (DESIGN §5g). Installing outside the lock would reopen that
+///    window: a commit could be durable (later truncated) yet invisible to
+///    the scan — a lost update.
 ///
 /// A transaction may write the same record more than once; every entry is
 /// logged in write order and recovery's stable sort preserves that order
 /// within the commit TID, so last-write-wins replay is exact.
 ///
 /// Returns the epoch tag, or 0 when no write touched a WAL-registered
-/// table.
-inline uint64_t LogSvCommit(LogManager& lm, LogBuffer*& buf,
-                            const sv::SvTransaction& t,
-                            uint64_t commit_tid) {
+/// table (the install still runs, outside any buffer lock — untracked
+/// tables have no durability ordering to preserve).
+inline uint64_t LogSvCommitAndInstall(LogManager& lm, LogBuffer*& buf,
+                                      sv::SvTransaction& t,
+                                      uint64_t commit_tid) {
   bool any = false;
   for (const sv::SvWrite& w : t.writes()) {
     if (w.wal_table_id != 0) {
@@ -40,7 +57,10 @@ inline uint64_t LogSvCommit(LogManager& lm, LogBuffer*& buf,
       break;
     }
   }
-  if (!any) return 0;
+  if (!any) {
+    sv::InstallWrites(t, commit_tid);
+    return 0;
+  }
   obs::ScopedPhaseTimer timer(&lm.metrics(), obs::Phase::kLogSerialize);
   if (buf == nullptr) buf = lm.CreateBuffer();
   return buf->AppendTransaction(
@@ -62,6 +82,7 @@ inline uint64_t LogSvCommit(LogManager& lm, LogBuffer*& buf,
                        del ? nullptr : t.arena() + w.buf_offset);
           ++n_records;
         }
+        sv::InstallWrites(t, commit_tid);
       });
 }
 

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -63,25 +65,85 @@ struct ParsedRecord {
 
 }  // namespace
 
+const char* LogDirStateName(LogDirState s) {
+  switch (s) {
+    case LogDirState::kNoLog:
+      return "no-log";
+    case LogDirState::kClean:
+      return "clean";
+    case LogDirState::kTornTail:
+      return "torn-tail";
+    case LogDirState::kCorruptInterior:
+      return "corrupt-interior";
+  }
+  return "?";
+}
+
+std::string RecoveryReport::Summary() const {
+  char buf[512];
+  size_t n = 0;
+  if (used_checkpoint) {
+    n += static_cast<size_t>(std::snprintf(
+        buf + n, sizeof(buf) - n,
+        "wal-recovery: ckpt seq=%" PRIu64 " ts=%" PRIu64 " cut=%" PRIu64
+        " tables=%u rows=%" PRIu64 "%s | ",
+        checkpoint_seq, checkpoint_ts, cut_epoch, checkpoint_tables_loaded,
+        checkpoint_records_loaded,
+        manifests_skipped != 0 ? " (FELL BACK past damaged manifests)"
+                               : ""));
+  } else {
+    n += static_cast<size_t>(std::snprintf(
+        buf + n, sizeof(buf) - n, "wal-recovery: %s | ",
+        manifests_skipped != 0 ? "genesis replay (NO valid checkpoint)"
+                               : "genesis replay"));
+  }
+  n += static_cast<size_t>(std::snprintf(
+      buf + n, sizeof(buf) - n, "log %s", LogDirStateName(state)));
+  if (state == LogDirState::kTornTail ||
+      state == LogDirState::kCorruptInterior) {
+    n += static_cast<size_t>(std::snprintf(
+        buf + n, sizeof(buf) - n, " @%s+%" PRIu64 " (%s)",
+        stop_segment.c_str(), stop_offset, stop_reason.c_str()));
+  }
+  (void)std::snprintf(buf + n, sizeof(buf) - n,
+                      ": %u segments, %" PRIu64 " blocks, %" PRIu64
+                      " records, max_epoch=%" PRIu64,
+                      segments_scanned, blocks_applied, records_applied,
+                      max_epoch);
+  return buf;
+}
+
 RecoveryReport ReplayLogDir(
     const std::string& dir,
-    const std::function<bool(const RecordView&)>& apply) {
+    const std::function<bool(const RecordView&)>& apply,
+    const ReplayOptions& options) {
   RecoveryReport report;
   // Buffers must outlive the sort+apply below: RecordViews point into them.
   std::vector<std::vector<uint8_t>> buffers;
   std::vector<ParsedRecord> records;
   uint64_t last_epoch = 0;
 
-  auto stop = [&](std::string reason) {
-    report.torn_tail = true;
-    report.stop_reason = std::move(reason);
-  };
+  const std::vector<std::string> names = ListSegments(dir);
+  report.state = names.empty() ? LogDirState::kNoLog : LogDirState::kClean;
 
-  for (const std::string& name : ListSegments(dir)) {
+  for (size_t seg = 0; seg < names.size(); ++seg) {
+    const std::string& name = names[seg];
+    // Damage in any segment but the last means acknowledged history was
+    // corrupted at rest; in the last it is ordinary crash residue.
+    auto stop = [&](std::string reason, uint64_t offset) {
+      report.torn_tail = true;
+      report.state = seg + 1 == names.size()
+                         ? LogDirState::kTornTail
+                         : LogDirState::kCorruptInterior;
+      report.stop_reason = name + ": " + reason;
+      report.stop_segment = name;
+      report.stop_offset = offset;
+    };
+
     buffers.emplace_back();
     std::vector<uint8_t>& buf = buffers.back();
     if (!ReadWholeFile(dir + "/" + name, &buf)) {
-      stop(name + ": unreadable");
+      stop("unreadable", 0);
       break;
     }
     ++report.segments_scanned;
@@ -89,13 +151,13 @@ RecoveryReport ReplayLogDir(
     if (buf.size() < sizeof(SegmentHeader)) {
       // A crash right after rotation can leave a truncated (even empty)
       // trailing segment; nothing in it was ever acknowledged.
-      stop(name + ": truncated segment header");
+      stop("truncated segment header", 0);
       break;
     }
     SegmentHeader sh;
     std::memcpy(&sh, buf.data(), sizeof(sh));
     if (!ValidSegmentHeader(sh)) {
-      stop(name + ": bad segment header");
+      stop("bad segment header", 0);
       break;
     }
 
@@ -103,40 +165,48 @@ RecoveryReport ReplayLogDir(
     bool segment_torn = false;
     while (off < buf.size()) {
       if (buf.size() - off < sizeof(BlockHeader)) {
-        stop(name + ": truncated block header");
+        stop("truncated block header", off);
         segment_torn = true;
         break;
       }
       BlockHeader bh;
       std::memcpy(&bh, buf.data() + off, sizeof(bh));
       if (bh.magic != kBlockMagic) {
-        stop(name + ": bad block magic");
+        stop("bad block magic", off);
         segment_torn = true;
         break;
       }
       if (bh.header_crc != BlockHeaderCrc(bh)) {
-        stop(name + ": block header CRC mismatch");
+        stop("block header CRC mismatch", off);
         segment_torn = true;
         break;
       }
       const size_t payload_off = off + sizeof(BlockHeader);
       if (buf.size() - payload_off < bh.payload_bytes) {
-        stop(name + ": truncated block payload");
+        stop("truncated block payload", off);
         segment_torn = true;
         break;
       }
       const uint8_t* payload = buf.data() + payload_off;
       if (crc32::Compute(payload, bh.payload_bytes) != bh.payload_crc) {
-        stop(name + ": block payload CRC mismatch");
+        stop("block payload CRC mismatch", off);
         segment_torn = true;
         break;
       }
       if (bh.epoch <= last_epoch) {
         // Epochs are strictly increasing across the whole log; a regression
         // means the tail belongs to an older, partially-overwritten run.
-        stop(name + ": non-monotonic epoch");
+        stop("non-monotonic epoch", off);
         segment_torn = true;
         break;
+      }
+
+      if (bh.epoch <= options.min_epoch_exclusive) {
+        // Subsumed by the checkpoint: validated (above) but not applied.
+        last_epoch = bh.epoch;
+        report.max_epoch = bh.epoch;
+        off = payload_off + bh.payload_bytes;
+        continue;
       }
 
       // The block checks out; parse its records. Record-level failures
@@ -170,7 +240,7 @@ RecoveryReport ReplayLogDir(
       }
       if (bad_record || parsed != bh.n_records) {
         records.resize(block_records_start);  // drop the partial block
-        stop(name + ": record framing mismatch inside block");
+        stop("record framing mismatch inside block", off);
         segment_torn = true;
         break;
       }

@@ -9,8 +9,25 @@
 
 namespace mv3c::wal {
 
-/// Outcome of one ReplayLogDir scan (returned, and good enough to assert
-/// torn-tail behavior on without reparsing the log).
+/// What the physical scan of a log directory found — the diagnosis the
+/// manifest-fallback path (and an operator reading one line of output)
+/// needs. The three damage shapes have very different meanings: a torn
+/// tail is the expected residue of a crash (the unacknowledged last
+/// write), an interior corruption means acknowledged history was damaged
+/// at rest (the recovered prefix may predate the durable point), and "no
+/// log" distinguishes first-boot from data loss.
+enum class LogDirState : uint8_t {
+  kNoLog = 0,        // no segment files at all (first boot / empty dir)
+  kClean,            // every byte of every segment validated
+  kTornTail,         // damage at the end of the LAST segment: crash residue
+  kCorruptInterior,  // damage before the last segment: at-rest corruption
+};
+
+const char* LogDirStateName(LogDirState s);
+
+/// Outcome of one recovery pass (physical log scan, plus checkpoint fields
+/// when RecoverWithCheckpoints drove it). Good enough to assert torn-tail
+/// and fallback behavior on without reparsing the log.
 struct RecoveryReport {
   uint32_t segments_scanned = 0;
   uint64_t blocks_applied = 0;
@@ -21,29 +38,64 @@ struct RecoveryReport {
   uint64_t max_epoch = 0;      // last durable epoch recovered
   uint64_t max_commit_ts = 0;  // largest commit_ts applied
   /// True when the scan stopped before the physical end of the log (torn
-  /// block, bad CRC, truncated file) — i.e. a crash tail was detected and
-  /// cut. The applied prefix is still transaction-consistent.
+  /// block, bad CRC, truncated file) — i.e. `state` is kTornTail or
+  /// kCorruptInterior. The applied prefix is still transaction-consistent.
   bool torn_tail = false;
-  std::string stop_reason;  // human-readable; empty for a clean log
+  LogDirState state = LogDirState::kNoLog;
+  std::string stop_reason;   // human-readable; empty for a clean log
+  std::string stop_segment;  // segment file where the scan stopped
+  uint64_t stop_offset = 0;  // byte offset of the first invalid byte
+
+  // --- Checkpoint phase (filled by Catalog::RecoverWithCheckpoints) ---
+  bool used_checkpoint = false;
+  uint64_t checkpoint_seq = 0;   // manifest the tables were loaded from
+  uint64_t checkpoint_ts = 0;    // its snapshot timestamp
+  uint64_t cut_epoch = 0;        // WAL epochs <= this were skipped
+  uint64_t checkpoint_records_loaded = 0;
+  uint32_t checkpoint_tables_loaded = 0;
+  /// Manifests that existed but failed validation (torn manifest, damaged
+  /// segment) and were fallen past, newest first. Nonzero means the
+  /// fallback path ran — exactly what the one-line summary must surface.
+  uint64_t manifests_skipped = 0;
+  /// Suffix records already captured by the checkpoint (MVCC commit_ts
+  /// below the table's scan_ts) and therefore not re-applied.
+  uint64_t records_skipped_below_checkpoint = 0;
+
+  /// The one-line operator summary, e.g.
+  ///   "wal-recovery: ckpt seq=3 ts=5012 cut=41 tables=9 rows=1204 |
+  ///    log torn-tail @wal-000004.log+8192 (block payload CRC mismatch):
+  ///    2 segments, 17 blocks, 340 records, max_epoch=58"
+  std::string Summary() const;
+};
+
+/// Options for the physical scan.
+struct ReplayOptions {
+  /// Skip blocks with epoch <= this (their records are subsumed by a
+  /// checkpoint). Every block is still CRC-validated and epoch-checked —
+  /// skipping is about application, not trust.
+  uint64_t min_epoch_exclusive = 0;
 };
 
 /// Scans a log directory (segments in filename order), validates framing
 /// layer by layer — segment header, block magic + header CRC, payload
 /// length + payload CRC, per-record CRC, epoch monotonicity — and hands
-/// every record of every valid block to `apply` in commit-timestamp order
-/// (records are collected per scan and stable-sorted by commit_ts before
-/// application: workers interleave arbitrarily inside an epoch block, but
-/// version chains must be rebuilt oldest-first).
+/// every record of every valid block past `options.min_epoch_exclusive`
+/// to `apply` in commit-timestamp order (records are collected per scan
+/// and stable-sorted by commit_ts before application: workers interleave
+/// arbitrarily inside an epoch block, but version chains must be rebuilt
+/// oldest-first).
 ///
 /// The scan stops at the FIRST invalid byte: everything before it is the
 /// longest durable prefix (group commit fsyncs whole blocks in epoch
-/// order, so nothing after a torn block can have been acknowledged).
+/// order, so nothing after a torn block can have been acknowledged). The
+/// report's `state`/`stop_segment`/`stop_offset` say where and why.
 ///
 /// `apply` returning false means "unknown table": the record is counted in
 /// records_skipped_unknown_table and the scan continues.
 RecoveryReport ReplayLogDir(
     const std::string& dir,
-    const std::function<bool(const RecordView&)>& apply);
+    const std::function<bool(const RecordView&)>& apply,
+    const ReplayOptions& options = {});
 
 }  // namespace mv3c::wal
 

@@ -1,0 +1,12 @@
+// Lint-rule case (no_raw_io_outside_wal.query): a checkpoint writer that
+// grew outside src/wal/ — exactly the shape the checkpoint subsystem
+// added, but planted at src/ckpt_writer.cc. Uses the pwrite/fdatasync
+// spellings (checkpoint.cc's own calls) rather than raw_io.cc's
+// fwrite/fsync so the rule's whole name list stays covered. Must fire.
+#include <unistd.h>
+
+int WriteCkptSegment(int fd, const void* buf, unsigned long n) {
+  long wrote = pwrite(fd, buf, n, 0);  // rule hit: segment bytes bypass wal/
+  if (wrote < 0) return -1;
+  return fdatasync(fd);                // rule hit: durability claim outside wal/
+}

@@ -1,0 +1,12 @@
+// Lint-rule control (no_raw_io_outside_wal.query): the same raw I/O as
+// ckpt_raw_io.cc, but the self-test plants it at src/wal/checkpoint.cc —
+// inside the rule's exemption. Proves the allowlist covers the checkpoint
+// TUs, so the real checkpoint writer keeps lint-clean raw-I/O freedom.
+// Must produce zero findings.
+#include <unistd.h>
+
+int WriteCkptSegment(int fd, const void* buf, unsigned long n) {
+  long wrote = pwrite(fd, buf, n, 0);  // exempt: lives under src/wal/
+  if (wrote < 0) return -1;
+  return fdatasync(fd);                // exempt: lives under src/wal/
+}

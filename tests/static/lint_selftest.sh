@@ -26,17 +26,28 @@ if [[ ${found} -eq 0 ]]; then
 fi
 
 make_db() {  # make_db <dir> <case...>  — synthesizes compile_commands.json
+  # A case may be spelled "dest/path.cc=case_file.cc" to plant it at a
+  # specific src/-relative path (rules scope by path, e.g. the src/wal/
+  # raw-I/O exemption); a bare name plants cases/<name> at src/<name>.
   local dir="$1"
   shift
   rm -rf "${dir}"
   mkdir -p "${dir}/src"
   local entries=()
-  local c
+  local c dest srcf
   for c in "$@"; do
-    cp "${ROOT}/tests/static/cases/${c}" "${dir}/src/${c}"
+    if [[ "${c}" == *=* ]]; then
+      dest="${c%%=*}"
+      srcf="${c#*=}"
+    else
+      dest="${c}"
+      srcf="${c}"
+    fi
+    mkdir -p "${dir}/src/$(dirname "${dest}")"
+    cp "${ROOT}/tests/static/cases/${srcf}" "${dir}/src/${dest}"
     entries+=("{\"directory\": \"${dir}\",
-  \"command\": \"c++ -std=c++20 -I${ROOT}/src -c src/${c}\",
-  \"file\": \"src/${c}\"}")
+  \"command\": \"c++ -std=c++20 -I${ROOT}/src -c src/${dest}\",
+  \"file\": \"src/${dest}\"}")
   done
   {
     echo "["
@@ -48,9 +59,11 @@ make_db() {  # make_db <dir> <case...>  — synthesizes compile_commands.json
 
 FAILED=0
 
-# 1. Every rule must fire on its violation case.
+# 1. Every rule must fire on its violation case. ckpt_writer.cc is the
+#    checkpoint-shaped raw-I/O violation (pwrite/fdatasync outside wal/).
 make_db "${SCRATCH}/violations" \
-  raw_new_version.cc bare_lock_guard.cc stats_outside_obs.cc raw_io.cc
+  raw_new_version.cc bare_lock_guard.cc stats_outside_obs.cc raw_io.cc \
+  ckpt_writer.cc=ckpt_raw_io.cc
 OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
        "${SCRATCH}/violations" 2>&1)"
 if [[ $? -ne 1 ]]; then
@@ -66,9 +79,18 @@ for rule in no_raw_version_new no_stats_outside_obs no_bare_lock_guard \
     FAILED=1
   fi
 done
+# The raw-I/O rule must have hit the checkpoint-shaped TU specifically,
+# not just raw_io.cc — pins the rule's name list to checkpoint.cc's calls.
+if ! printf '%s\n' "${OUT}" | grep -q "ckpt_writer.cc"; then
+  echo "FAIL: no_raw_io_outside_wal missed the checkpoint-shaped TU:"
+  printf '%s\n' "${OUT}"
+  FAILED=1
+fi
 
-# 2. The clean control must produce zero findings.
-make_db "${SCRATCH}/clean" lint_clean.cc
+# 2. The clean control must produce zero findings. The same raw I/O as
+#    the violation, planted at src/wal/checkpoint.cc, proves the rule's
+#    wal/ exemption covers the checkpoint TUs.
+make_db "${SCRATCH}/clean" lint_clean.cc wal/checkpoint.cc=wal_checkpoint_io.cc
 if ! OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
             "${SCRATCH}/clean" 2>&1)"; then
   echo "FAIL: lint over the clean control reported findings:"

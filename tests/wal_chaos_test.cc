@@ -3,8 +3,12 @@
 // fsync, fsync failure) into a live banking run, and recovery of whatever
 // reached the disk must yield a transaction-consistent prefix — the
 // conservation invariant (total balance unchanged by any transfer prefix)
-// is the consistency oracle. Requires -DMV3C_FAILPOINTS=ON; skips
-// otherwise.
+// is the consistency oracle. The second half does the same to the fuzzy
+// checkpointer: a crash at any point of a checkpoint round (mid-segment,
+// before the manifest, after the manifest but before truncation, fsync
+// failure) must leave recovery on a consistent prefix, and a half-written
+// checkpoint must never be preferred over an older valid one. Requires
+// -DMV3C_FAILPOINTS=ON; skips otherwise.
 
 #include <cstdint>
 #include <filesystem>
@@ -14,6 +18,7 @@
 
 #include "common/failpoint.h"
 #include "wal/catalog.h"
+#include "wal/checkpoint.h"
 #include "wal/log_manager.h"
 #include "wal/state_hash.h"
 #include "workloads/wal_registry.h"
@@ -93,6 +98,12 @@ class WalChaosTest : public ::testing::Test {
         ++out.committed_after_arm;
       }
     }
+    // The commit loop can outrun the writer thread: when it gives up,
+    // committed records may still sit in the buffers with the fault due on
+    // the writer's next wakeup. Force rounds until the armed site trips —
+    // WaitDurable returns on crash, and a round over non-empty buffers
+    // must evaluate the site (probability 1.0), so this cannot spin.
+    while (!mgr.wal()->crashed()) (void)mgr.wal()->FlushNow();
     EXPECT_TRUE(mgr.wal()->crashed());
     EXPECT_EQ(fp::Trips(site), 1u);
     // Crashed log: durability waits must fail, not hang.
@@ -177,6 +188,210 @@ TEST_F(WalChaosTest, FsyncFailureFreezesLog) {
   EXPECT_FALSE(r.report.torn_tail) << r.report.stop_reason;
   EXPECT_GE(r.report.max_epoch, run.durable_epoch_at_crash);
   ExpectConsistentPrefix(r, run);
+}
+
+// --- Crash mid-checkpoint -------------------------------------------------
+
+/// Harness for the checkpoint fault sites: establish one good checkpoint,
+/// run more history, arm a checkpoint failpoint, attempt a second round
+/// (which dies at the armed site), run yet more history, stop cleanly, and
+/// recover with the two-phase path. Whatever the fault, recovery must land
+/// exactly on the live pre-stop state: the WAL itself never crashed, so
+/// nothing durable may be lost — a botched checkpoint costs only the
+/// checkpoint.
+class WalCkptChaosTest : public WalChaosTest {
+ protected:
+  struct CkptCrash {
+    uint64_t published_after_fault = 0;  // 1 = round 2 died pre-publish
+    wal::TableDigest live_digest{};
+    int64_t live_total = 0;
+  };
+
+  CkptCrash RunWithCheckpointFault(fp::Site site) {
+    CkptCrash out;
+    TransactionManager mgr;
+    wal::WalConfig cfg;
+    cfg.dir = dir_.string();
+    cfg.ack = wal::WalConfig::Ack::kAsync;
+    cfg.segment_bytes = 4096;  // rotate often so truncation is real
+    mgr.EnableWal(cfg);
+    banking::BankingDb db(&mgr, kAccounts, kInitial);
+    wal::Catalog cat;
+    RegisterWalTables(cat, db);
+    db.Load();
+
+    wal::CheckpointConfig ck_cfg;
+    ck_cfg.dir = dir_.string();
+    ck_cfg.interval_ms = 0;  // manual rounds only
+    wal::Checkpointer ck(ck_cfg, mgr.wal(), cat.CheckpointSourceProvider());
+
+    banking::TransferGenerator gen(kAccounts, 100, /*seed=*/11);
+    Mv3cExecutor e(&mgr);
+    for (int i = 0; i < 200; ++i) {
+      (void)e.Run(banking::Mv3cTransferMoney(db, gen.Next()));
+    }
+    EXPECT_TRUE(mgr.wal()->FlushNow());
+    EXPECT_TRUE(ck.TakeCheckpoint());
+    EXPECT_EQ(ck.published_seq(), 1u);
+
+    for (int i = 0; i < 200; ++i) {
+      (void)e.Run(banking::Mv3cTransferMoney(db, gen.Next()));
+    }
+    fp::Config fc;
+    fc.action = fp::Action::kFail;
+    fc.probability = 1.0;
+    fc.max_trips = 1;
+    fp::Arm(site, fc);
+    EXPECT_FALSE(ck.TakeCheckpoint());  // the round dies at the site
+    EXPECT_TRUE(ck.failed());
+    EXPECT_EQ(fp::Trips(site), 1u);
+    EXPECT_FALSE(ck.TakeCheckpoint());  // frozen, like a crashed log
+    out.published_after_fault = ck.published_seq();
+
+    // The WAL is fine — commits keep flowing after the checkpointer died.
+    EXPECT_FALSE(mgr.wal()->crashed());
+    for (int i = 0; i < 100; ++i) {
+      (void)e.Run(banking::Mv3cTransferMoney(db, gen.Next()));
+    }
+    EXPECT_TRUE(mgr.wal()->FlushNow());
+    mgr.DisableWal();
+    out.live_digest = wal::DigestMvccTable(db.accounts);
+    out.live_total = db.TotalBalance();
+    EXPECT_EQ(out.live_total, kTotal);
+    return out;
+  }
+
+  struct CkptRecovered {
+    wal::RecoveryReport report;
+    wal::TableDigest digest{};
+    int64_t total = 0;
+  };
+
+  CkptRecovered RecoverTwoPhase() {
+    CkptRecovered r;
+    TransactionManager mgr;
+    banking::BankingDb db(&mgr, kAccounts, kInitial);
+    wal::Catalog cat;
+    RegisterWalTables(cat, db);
+    r.report = cat.RecoverWithCheckpoints(dir_.string());
+    r.digest = wal::DigestMvccTable(db.accounts);
+    r.total = db.TotalBalance();
+    return r;
+  }
+
+  /// The checkpoint-chaos oracle: recovery used a checkpoint, landed on
+  /// the exact live state, and never counted fallback work (a debris
+  /// directory without a manifest is invisible, not "skipped").
+  void ExpectExactRecovery(const CkptCrash& run, uint64_t want_seq) {
+    const CkptRecovered r = RecoverTwoPhase();
+    EXPECT_TRUE(r.report.used_checkpoint);
+    EXPECT_EQ(r.report.checkpoint_seq, want_seq);
+    EXPECT_EQ(r.report.manifests_skipped, 0u);
+    EXPECT_FALSE(r.report.torn_tail) << r.report.stop_reason;
+    EXPECT_EQ(r.digest, run.live_digest);
+    EXPECT_EQ(r.total, run.live_total);
+  }
+};
+
+TEST_F(WalCkptChaosTest, CrashMidSegmentNeverPrefersDebris) {
+  const CkptCrash run = RunWithCheckpointFault(fp::Site::kCkptCrashMidSegment);
+  EXPECT_EQ(run.published_after_fault, 1u);
+  // The half-written segment's directory is on disk — but without a
+  // manifest it must be ignored, and checkpoint 1 used instead.
+  EXPECT_TRUE(fs::exists(dir_ / wal::CkptDirName(2)));
+  EXPECT_FALSE(fs::exists(dir_ / wal::ManifestName(2)));
+  ExpectExactRecovery(run, /*want_seq=*/1);
+}
+
+TEST_F(WalCkptChaosTest, CrashBeforeManifestDiscardsRound) {
+  const CkptCrash run =
+      RunWithCheckpointFault(fp::Site::kCkptCrashBeforeManifest);
+  EXPECT_EQ(run.published_after_fault, 1u);
+  // Segments fully written, manifest never: the round simply never
+  // happened as far as recovery is concerned.
+  EXPECT_FALSE(fs::exists(dir_ / wal::ManifestName(2)));
+  ExpectExactRecovery(run, /*want_seq=*/1);
+}
+
+TEST_F(WalCkptChaosTest, FsyncFailureFreezesCheckpointer) {
+  const CkptCrash run = RunWithCheckpointFault(fp::Site::kCkptFsyncFail);
+  EXPECT_EQ(run.published_after_fault, 1u);
+  ExpectExactRecovery(run, /*want_seq=*/1);
+}
+
+TEST_F(WalCkptChaosTest, CrashAfterManifestBeforeTruncateKeepsBoth) {
+  const CkptCrash run = RunWithCheckpointFault(
+      fp::Site::kCkptCrashAfterManifestBeforeTruncate);
+  // The manifest IS the commit point: checkpoint 2 was published, only
+  // the (idempotent, re-doable) truncation was lost.
+  EXPECT_EQ(run.published_after_fault, 2u);
+  EXPECT_TRUE(fs::exists(dir_ / wal::ManifestName(2)));
+  ExpectExactRecovery(run, /*want_seq=*/2);
+  // And because truncation never ran, the full log survives: genesis
+  // replay must agree with the two-phase path — the strongest
+  // equivalence this harness can check.
+  TransactionManager mgr;
+  banking::BankingDb db(&mgr, kAccounts, kInitial);
+  wal::Catalog cat;
+  RegisterWalTables(cat, db);
+  const wal::RecoveryReport rep = cat.Recover(dir_.string());
+  EXPECT_FALSE(rep.torn_tail) << rep.stop_reason;
+  EXPECT_EQ(wal::DigestMvccTable(db.accounts), run.live_digest);
+}
+
+// A restarted checkpointer resumes numbering past the debris and its next
+// round replaces the half-written directory.
+TEST_F(WalCkptChaosTest, RestartAfterMidSegmentCrashResumes) {
+  TransactionManager mgr;
+  wal::WalConfig cfg;
+  cfg.dir = dir_.string();
+  cfg.ack = wal::WalConfig::Ack::kAsync;
+  mgr.EnableWal(cfg);
+  banking::BankingDb db(&mgr, kAccounts, kInitial);
+  wal::Catalog cat;
+  RegisterWalTables(cat, db);
+  db.Load();
+  wal::CheckpointConfig ck_cfg;
+  ck_cfg.dir = dir_.string();
+  banking::TransferGenerator gen(kAccounts, 100, /*seed=*/11);
+  Mv3cExecutor e(&mgr);
+  {
+    wal::Checkpointer ck(ck_cfg, mgr.wal(), cat.CheckpointSourceProvider());
+    for (int i = 0; i < 100; ++i) {
+      (void)e.Run(banking::Mv3cTransferMoney(db, gen.Next()));
+    }
+    ASSERT_TRUE(mgr.wal()->FlushNow());
+    ASSERT_TRUE(ck.TakeCheckpoint());
+    fp::Config fc;
+    fc.action = fp::Action::kFail;
+    fc.probability = 1.0;
+    fc.max_trips = 1;
+    fp::Arm(fp::Site::kCkptCrashMidSegment, fc);
+    EXPECT_FALSE(ck.TakeCheckpoint());
+  }
+  fp::DisarmAll();
+  // "Reboot": a fresh checkpointer over the same directory.
+  wal::Checkpointer ck2(ck_cfg, mgr.wal(), cat.CheckpointSourceProvider());
+  EXPECT_EQ(ck2.published_seq(), 1u);  // seeded from the valid manifest
+  for (int i = 0; i < 100; ++i) {
+    (void)e.Run(banking::Mv3cTransferMoney(db, gen.Next()));
+  }
+  ASSERT_TRUE(mgr.wal()->FlushNow());
+  ASSERT_TRUE(ck2.TakeCheckpoint());
+  EXPECT_EQ(ck2.published_seq(), 2u);
+  ASSERT_TRUE(mgr.wal()->FlushNow());
+  mgr.DisableWal();
+  const wal::TableDigest live = wal::DigestMvccTable(db.accounts);
+
+  TransactionManager mgr2;
+  banking::BankingDb db2(&mgr2, kAccounts, kInitial);
+  wal::Catalog cat2;
+  RegisterWalTables(cat2, db2);
+  const wal::RecoveryReport rep = cat2.RecoverWithCheckpoints(dir_.string());
+  EXPECT_TRUE(rep.used_checkpoint);
+  EXPECT_EQ(rep.checkpoint_seq, 2u);
+  EXPECT_EQ(rep.manifests_skipped, 0u);
+  EXPECT_EQ(wal::DigestMvccTable(db2.accounts), live);
 }
 
 // Same seed, same fault site, fresh directory: the recovered prefix is a
