@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Compares a fresh benchmark capture against a committed baseline.
+#
+#   usage: scripts/bench_compare.sh [baseline] [fresh] [build_dir]
+#
+# With no `fresh` argument the script first runs bench_capture.sh into a
+# temp file, so the one-liner after a perf-sensitive change is just
+# `scripts/bench_compare.sh` from the repo root. Runs are joined on
+# (bench, engine, window) and the per-run committed-throughput delta is
+# printed, plus a per-bench rollup; the fig7a/fig8 headline rows are the
+# ones ISSUE acceptance criteria reference. Exit status is 0 always —
+# this is a reporting tool, thresholds are the reviewer's call (quick-
+# scale runs on shared CI hardware are too noisy for a hard gate).
+set -u
+BASELINE="${1:-BENCH_baseline.json}"
+FRESH="${2:-}"
+BUILD_DIR="${3:-build}"
+
+if [ ! -f "$BASELINE" ]; then
+  echo "baseline not found: $BASELINE" >&2
+  exit 2
+fi
+
+cleanup=""
+if [ -z "$FRESH" ]; then
+  FRESH="$(mktemp --suffix=.json)"
+  cleanup="$FRESH"
+  trap 'rm -f "$cleanup"' EXIT
+  echo "capturing fresh run into $FRESH ..." >&2
+  "$(dirname "$0")/bench_capture.sh" "$BUILD_DIR" "$FRESH" || true
+fi
+
+python3 - "$BASELINE" "$FRESH" <<'EOF'
+import json
+import sys
+from collections import defaultdict
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for r in doc.get("runs", []):
+        runs[(r["bench"], r["engine"], r.get("window", 0))] = r
+    return doc, runs
+
+base_doc, base = load(sys.argv[1])
+fresh_doc, fresh = load(sys.argv[2])
+print(f"baseline: {sys.argv[1]} (git {base_doc.get('git', '?')}, "
+      f"{base_doc.get('scale', '?')} scale)")
+print(f"fresh:    {sys.argv[2]} (git {fresh_doc.get('git', '?')}, "
+      f"{fresh_doc.get('scale', '?')} scale)")
+if base_doc.get("scale") != fresh_doc.get("scale"):
+    print("WARNING: scale mismatch, deltas are not comparable")
+print()
+
+hdr = f"{'bench':32} {'engine':22} {'win':>4} {'base tps':>12} {'new tps':>12} {'delta':>8}"
+print(hdr)
+print("-" * len(hdr))
+per_bench = defaultdict(list)
+for key in sorted(base.keys() | fresh.keys()):
+    b, f = base.get(key), fresh.get(key)
+    bench, engine, window = key
+    if b is None or f is None:
+        side = "baseline" if f is None else "fresh"
+        print(f"{bench:32} {engine:22} {window:>4} "
+              f"{'(only in ' + side + ')':>34}")
+        continue
+    delta = (f["tps"] - b["tps"]) / b["tps"] * 100 if b["tps"] else 0.0
+    per_bench[bench].append(delta)
+    print(f"{bench:32} {engine:22} {window:>4} "
+          f"{b['tps']:12.1f} {f['tps']:12.1f} {delta:+7.1f}%")
+
+print()
+print("per-bench mean delta:")
+for bench in sorted(per_bench):
+    ds = per_bench[bench]
+    print(f"  {bench:32} {sum(ds) / len(ds):+6.1f}%  "
+          f"(n={len(ds)}, min {min(ds):+.1f}%, max {max(ds):+.1f}%)")
+EOF

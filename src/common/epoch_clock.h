@@ -1,0 +1,61 @@
+#ifndef MV3C_COMMON_EPOCH_CLOCK_H_
+#define MV3C_COMMON_EPOCH_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mv3c {
+
+/// The shared epoch counter behind both the WAL's group-commit rounds and
+/// the epoch component of commit timestamps (DESIGN §5h).
+///
+/// Three writers advance it, all monotonically:
+///   * the WAL writer thread, one bump per flush round (BumpForFlush);
+///   * the commit-TID allocator, when a timestamp rolls past the current
+///     epoch's value range (AdvanceTo);
+///   * recovery, re-pointing the clock past every replayed timestamp's
+///     epoch (AdvanceTo).
+/// All three are plain RMWs, so concurrent advances never lose a bump —
+/// the WAL's `durable_epoch <= current - 1` invariant survives an
+/// AdvanceTo jump because the next flush round reads the jumped value.
+///
+/// A TransactionManager owns one clock and hands it to its LogManager so
+/// commit-timestamp epochs and redo-block epoch tags are drawn from the
+/// same counter; standalone LogManagers (the single-version engines) fall
+/// back to a private clock.
+class EpochClock {
+ public:
+  EpochClock() = default;
+  EpochClock(const EpochClock&) = delete;
+  EpochClock& operator=(const EpochClock&) = delete;
+
+  uint64_t Current() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// WAL writer only: publishes the next epoch and returns the one whose
+  /// appends are about to be drained (see LogManager::FlushRound).
+  uint64_t BumpForFlush() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Raises the clock to at least `target`; no-op if already past it.
+  void AdvanceTo(uint64_t target) {
+    uint64_t cur = epoch_.load(std::memory_order_relaxed);
+    while (cur < target &&
+           !epoch_.compare_exchange_weak(cur, target,
+                                         std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// The underlying counter, for LogBuffer's tag reads (the buffer stores
+  /// a pointer to the atomic, not to the clock, so the WAL layer's epoch
+  /// protocol is unchanged by clock sharing).
+  const std::atomic<uint64_t>* raw() const { return &epoch_; }
+
+ private:
+  /// Starts at 1 so epoch tag 0 keeps meaning "nothing logged".
+  std::atomic<uint64_t> epoch_{1};
+};
+
+}  // namespace mv3c
+
+#endif  // MV3C_COMMON_EPOCH_CLOCK_H_

@@ -32,12 +32,16 @@ struct CommittedRecord {
 ///
 /// Readers traverse version chains and the RC list without locks, so
 /// unlinked nodes cannot be freed immediately. Every retired node carries
-/// the timestamp-sequence value at retirement (its *era*); because start
-/// timestamps come from the same sequence, any transaction that could have
-/// observed the node has a start timestamp <= era. A node is therefore safe
-/// to free once the oldest active start timestamp exceeds its era (paper
-/// §5: versions are reclaimed once no older active transaction can read
-/// them).
+/// the manager's CurrentEra() at retirement — `commit high-water mark + 1`
+/// since the §5h timestamp refactor. Start timestamps are drawn from the
+/// same mark (start = hwm + 1), so any transaction that could have
+/// observed the node has a start timestamp <= era (a later beginner's
+/// start exceeding the era implies it read a hwm published after the
+/// unlink, hence cannot reach the node — see TrimRecentlyCommitted). A
+/// node is therefore safe to free once every registered start strictly
+/// exceeds its era (paper §5: versions are reclaimed once no older active
+/// transaction can read them); the manager's AcquireReclaimCuts computes
+/// that bound.
 class GarbageCollector {
  public:
   GarbageCollector() = default;

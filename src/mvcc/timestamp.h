@@ -1,21 +1,47 @@
 #ifndef MV3C_MVCC_TIMESTAMP_H_
 #define MV3C_MVCC_TIMESTAMP_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace mv3c {
 
-/// Logical timestamp drawn from the global start-and-commit sequence.
+/// Logical timestamp ordering starts and commits (paper §5): a transaction
+/// T ran concurrently with every committed transaction whose commit
+/// timestamp is greater than T's start timestamp.
 ///
-/// Start timestamps and commit timestamps come from one shared sequence
-/// (paper §5): a transaction T ran concurrently with every committed
-/// transaction whose commit timestamp is greater than T's start timestamp.
+/// Commit timestamps are epoch-composed TIDs (DESIGN §5h), not draws from
+/// a global sequence:
+///
+///     63 62                 30 29            8 7          0
+///     +--+-------------------+---------------+------------+
+///     | 0|       epoch       |   sequence    |    lane    |
+///     +--+-------------------+---------------+------------+
+///
+///   * `lane` stamps the committing worker (8 bits, hashed thread id);
+///   * `sequence` makes the value strictly larger than every previously
+///     published commit timestamp;
+///   * `epoch` is the shared EpochClock value at allocation — the same
+///     counter the WAL's group-commit rounds bump, so a commit's epoch
+///     component never exceeds its redo records' epoch tag.
+///
+/// Ordering contract: all visibility (`FindVisible`), validation
+/// (`ForEachConcurrentVersion`), GC-watermark and checkpoint logic compare
+/// timestamps as plain integers, exactly as before; the layout only
+/// changes *which* integers get allocated. Start timestamps are not drawn
+/// from a sequence at all — a transaction starts at
+/// `commit high-water mark + 1`, and commit TIDs are allocated at
+/// `>= high-water mark + 2`, so a start value is never equal to any commit
+/// timestamp (the strict `ts < start` visibility bound and the exclusive
+/// `commit_ts > validated_up_to` validation bound stay collision-free).
 using Timestamp = uint64_t;
 
 /// Transaction identifiers double as provisional commit timestamps on
-/// uncommitted versions. They are drawn from a second sequence that starts
-/// at a value larger than any realizable commit timestamp, so a version is
-/// uncommitted iff its timestamp is >= kTxnIdBase (paper §5).
+/// uncommitted versions. They live above every realizable commit
+/// timestamp, so a version is uncommitted iff its timestamp is >=
+/// kTxnIdBase (paper §5). The epoch field below stays under 2^32 to keep
+/// composed commit TIDs below this base (about ten days of 200µs WAL
+/// epochs per process lifetime; MV3C_CHECKed at allocation).
 inline constexpr Timestamp kTxnIdBase = 1ULL << 62;
 
 /// Sentinel timestamp for versions that were rolled back or pruned out of a
@@ -31,6 +57,59 @@ inline constexpr bool IsTxnId(Timestamp ts) {
 
 /// Returns true if `ts` is a commit timestamp.
 inline constexpr bool IsCommitTs(Timestamp ts) { return ts < kTxnIdBase; }
+
+// --- Commit-TID layout (DESIGN §5h) -------------------------------------
+
+inline constexpr uint32_t kTidLaneBits = 8;
+inline constexpr uint32_t kTidSeqBits = 22;
+inline constexpr uint32_t kTidEpochShift = kTidLaneBits + kTidSeqBits;
+inline constexpr uint32_t kMaxTidLanes = 1u << kTidLaneBits;
+inline constexpr Timestamp kTidLaneMask = kMaxTidLanes - 1;
+
+/// Epoch component of a commit timestamp.
+inline constexpr uint64_t TsEpoch(Timestamp ts) { return ts >> kTidEpochShift; }
+
+/// Worker-lane component of a commit timestamp.
+inline constexpr uint32_t TsLane(Timestamp ts) {
+  return static_cast<uint32_t>(ts & kTidLaneMask);
+}
+
+/// Smallest timestamp carrying `epoch` (sequence and lane both zero).
+inline constexpr Timestamp EpochFirstTs(uint64_t epoch) {
+  return static_cast<Timestamp>(epoch) << kTidEpochShift;
+}
+
+/// Smallest timestamp >= `floor` whose lane field is `lane`. Strict
+/// monotonicity of allocation comes from the caller's floor (the commit
+/// high-water mark + 2); the lane shaping only picks which of the next 256
+/// values the TID lands on.
+inline constexpr Timestamp ShapeToLane(Timestamp floor, uint32_t lane) {
+  const Timestamp c = (floor & ~kTidLaneMask) | lane;
+  return c >= floor ? c : c + kMaxTidLanes;
+}
+
+/// Transaction-id layout: `kTxnIdBase | lane << 48 | per-lane tick`. Ids
+/// are allocated with one relaxed fetch_add on the lane's own cache line —
+/// no globally shared counter — and are unique per manager because the
+/// lane bits partition the space (2^48 ids per lane before overflow, and
+/// the sum stays far below kDeadVersion).
+inline constexpr uint32_t kTxnIdLaneShift = 48;
+
+inline constexpr Timestamp ComposeTxnId(uint32_t lane, uint64_t tick) {
+  return kTxnIdBase | (static_cast<Timestamp>(lane) << kTxnIdLaneShift) | tick;
+}
+
+/// This thread's TID lane: threads grab distinct lanes round-robin and
+/// keep them for life. More than kMaxTidLanes threads fold onto shared
+/// lanes, which stays correct (lane-local state is either lock-protected
+/// or atomic) and only costs some cache-line sharing.
+inline uint32_t ThisThreadTidLane() {
+  static std::atomic<uint32_t> next_lane{0};
+  thread_local const uint32_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed) &
+      static_cast<uint32_t>(kTidLaneMask);
+  return lane;
+}
 
 }  // namespace mv3c
 

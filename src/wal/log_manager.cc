@@ -41,8 +41,11 @@ std::string SegmentPath(const std::string& dir, uint32_t index) {
 
 }  // namespace
 
-LogManager::LogManager(const WalConfig& config) : config_(config) {
+LogManager::LogManager(const WalConfig& config, EpochClock* epoch_clock)
+    : config_(config),
+      clock_(epoch_clock != nullptr ? epoch_clock : &own_clock_) {
   MV3C_CHECK(!config_.dir.empty());
+  MV3C_CHECK(clock_->Current() >= 1);
   // EEXIST is the common restart case; anything else is fatal (a log that
   // cannot be created must never report commits durable).
   if (::mkdir(config_.dir.c_str(), 0755) != 0) {
@@ -65,7 +68,7 @@ LogManager::~LogManager() { Stop(); }
 LogBuffer* LogManager::CreateBuffer() {
   std::lock_guard<std::mutex> g(buffers_mu_);
   buffers_.emplace_back(
-      std::unique_ptr<LogBuffer>(new LogBuffer(&current_epoch_)));
+      std::unique_ptr<LogBuffer>(new LogBuffer(clock_->raw())));
   return buffers_.back().get();
 }
 
@@ -92,7 +95,7 @@ bool LogManager::FlushNow() {
   // Everything appended before this call is tagged ≤ the epoch read here
   // (tags are reads of current_epoch_), so one durable round at or past it
   // covers them all.
-  return WaitDurable(current_epoch_.load(std::memory_order_acquire));
+  return WaitDurable(clock_->Current());
 }
 
 void LogManager::SimulateCrash() {
@@ -153,9 +156,11 @@ bool LogManager::FlushRound() {
   // Publish the next epoch BEFORE draining: any committer whose tag-read
   // raced this bump either still holds its buffer lock (drained below,
   // into this round) or sees the new epoch (flushed next round). See
-  // LogBuffer's header comment for the full argument.
-  const uint64_t epoch =
-      current_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // LogBuffer's header comment for the full argument. With a shared clock
+  // the counter may have been advanced externally (TID rollover,
+  // recovery) since the last round; draining under the jumped value is
+  // fine — it still covers every tag drawn before the bump.
+  const uint64_t epoch = clock_->BumpForFlush();
   payload_.clear();
   uint32_t n_records = 0;
   {

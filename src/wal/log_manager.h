@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/epoch_clock.h"
 #include "obs/metrics.h"
 #include "wal/log_buffer.h"
 
@@ -61,7 +62,16 @@ struct WalConfig {
 /// crash-chaos tests recover from.
 class LogManager {
  public:
-  explicit LogManager(const WalConfig& config);
+  /// `epoch_clock` (optional) shares the epoch counter with the MVCC
+  /// substrate: flush rounds advance the same clock commit-TID epoch
+  /// components are read from (DESIGN §5h), so a commit's timestamp epoch
+  /// never exceeds its redo records' epoch tag. Standalone logs (the SV
+  /// engines) pass nullptr and get a private clock. The clock must start
+  /// at or above 1 and only ever advance (EpochClock guarantees both);
+  /// external AdvanceTo jumps are safe — the next flush round drains under
+  /// the jumped value, which still covers every earlier tag.
+  explicit LogManager(const WalConfig& config,
+                      EpochClock* epoch_clock = nullptr);
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
   ~LogManager();
@@ -72,9 +82,7 @@ class LogManager {
 
   const WalConfig& config() const { return config_; }
 
-  uint64_t current_epoch() const {
-    return current_epoch_.load(std::memory_order_acquire);
-  }
+  uint64_t current_epoch() const { return clock_->Current(); }
   uint64_t durable_epoch() const {
     return durable_epoch_.load(std::memory_order_acquire);
   }
@@ -132,8 +140,11 @@ class LogManager {
 
   WalConfig config_;
 
-  // Epoch protocol state (see LogBuffer's header comment).
-  std::atomic<uint64_t> current_epoch_{1};
+  // Epoch protocol state (see LogBuffer's header comment). The epoch
+  // counter lives in a clock that may be shared with the MVCC substrate;
+  // durability bookkeeping stays private to the log.
+  EpochClock own_clock_;           // used when no shared clock is passed
+  EpochClock* clock_ = nullptr;    // the clock in effect (never null)
   std::atomic<uint64_t> durable_epoch_{0};
   std::atomic<bool> crashed_{false};
 

@@ -32,6 +32,11 @@ namespace mv3c::wal {
 ///
 /// Returns the epoch the records were tagged with, or 0 when the
 /// transaction touched no WAL-registered table (nothing to wait for).
+/// Because `commit_ts`'s epoch component is read from the same shared
+/// clock moments earlier in the same critical section (DESIGN §5h), the
+/// tag returned here is always >= TsEpoch(commit_ts) — checkpoint epoch
+/// cuts therefore never truncate a block whose records carry timestamps
+/// from a later epoch than the block's tag.
 inline uint64_t LogMvccCommit(LogManager& lm, LogBuffer*& buf,
                               const CommittedRecord& rec,
                               Timestamp commit_ts, bool repaired) {

@@ -1,0 +1,27 @@
+// Lint-rule case (no_global_ts_counter.query): an atomic
+// timestamp-sequence counter outside the TID allocator — the pre-§5h
+// `ts_seq_` shape resurrected both as a member and as a global. Compiles
+// fine; the self-test plants this at a src/mvcc/-shaped path (NOT
+// transaction_manager.h) and expects the rule to fire on both decls.
+#include <atomic>
+#include <cstdint>
+
+namespace mv3c {
+
+class ShadowManager {
+  std::atomic<uint64_t> ts_seq_{1};  // rule hit: second timestamp authority
+
+ public:
+  uint64_t NextCommitTs() {
+    return ts_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+std::atomic<uint64_t> global_txn_counter{0};  // rule hit: global variant
+
+uint64_t Touch() {
+  ShadowManager m;
+  return m.NextCommitTs() + global_txn_counter.load();
+}
+
+}  // namespace mv3c

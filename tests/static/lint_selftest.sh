@@ -63,7 +63,7 @@ FAILED=0
 #    checkpoint-shaped raw-I/O violation (pwrite/fdatasync outside wal/).
 make_db "${SCRATCH}/violations" \
   raw_new_version.cc bare_lock_guard.cc stats_outside_obs.cc raw_io.cc \
-  ckpt_writer.cc=ckpt_raw_io.cc
+  ckpt_writer.cc=ckpt_raw_io.cc mvcc/shadow_ts.cc=global_ts_counter.cc
 OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
        "${SCRATCH}/violations" 2>&1)"
 if [[ $? -ne 1 ]]; then
@@ -72,7 +72,7 @@ if [[ $? -ne 1 ]]; then
   FAILED=1
 fi
 for rule in no_raw_version_new no_stats_outside_obs no_bare_lock_guard \
-            no_raw_io_outside_wal; do
+            no_raw_io_outside_wal no_global_ts_counter; do
   if ! printf '%s\n' "${OUT}" | grep -q "FAIL ${rule}"; then
     echo "FAIL: rule ${rule} did not fire on its violation case. Output:"
     printf '%s\n' "${OUT}"
@@ -89,8 +89,13 @@ fi
 
 # 2. The clean control must produce zero findings. The same raw I/O as
 #    the violation, planted at src/wal/checkpoint.cc, proves the rule's
-#    wal/ exemption covers the checkpoint TUs.
-make_db "${SCRATCH}/clean" lint_clean.cc wal/checkpoint.cc=wal_checkpoint_io.cc
+#    wal/ exemption covers the checkpoint TUs; the same atomic ts counter
+#    planted at src/mvcc/transaction_manager.h proves the TID-allocator
+#    exemption is per-file, not per-directory (shadow_ts.cc above sits in
+#    src/mvcc/ too and must still fire).
+make_db "${SCRATCH}/clean" lint_clean.cc \
+  wal/checkpoint.cc=wal_checkpoint_io.cc \
+  mvcc/transaction_manager.h=global_ts_counter.cc
 if ! OUT="$(MV3C_LINT_STRICT=1 "${ROOT}/scripts/lint/run_lint.sh" \
             "${SCRATCH}/clean" 2>&1)"; then
   echo "FAIL: lint over the clean control reported findings:"
