@@ -28,12 +28,14 @@ namespace fs = std::filesystem;
 /// regime. The log directory is wiped before each run so segment sizes are
 /// comparable.
 RunResult RunBankingMv3cWal(size_t window, const BankingSetup& s,
-                            wal::WalConfig::Ack ack, const fs::path& dir) {
+                            wal::WalConfig::Ack ack, const fs::path& dir,
+                            uint32_t partitions = 1) {
   fs::remove_all(dir);
   TransactionManager mgr;
   wal::WalConfig cfg;
   cfg.dir = dir.string();
   cfg.ack = ack;
+  cfg.partitions = partitions;  // pinned: env must not shift bench regimes
   mgr.EnableWal(cfg);
   banking::BankingDb db(&mgr, s.accounts, s.initial_balance);
   wal::Catalog cat;
@@ -100,6 +102,16 @@ int main(int argc, char** argv) {
              Fmt((off.Tps() / async_r.Tps() - 1.0) * 100.0, 2),
              MbOnDisk(async_r), AvgGroupSize(async_r)});
   EmitRunJson("overhead_durability", "mv3c-wal-async", 10, async_r);
+
+  // Partitioned log, same async stream: a single submitter lands on one
+  // stream (the others heartbeat), so this row is the partition-machinery
+  // tax — the scaling win needs concurrent submitters (fig8 regimes).
+  const RunResult async_p4 = RunBankingMv3cWal(
+      10, s, mv3c::wal::WalConfig::Ack::kAsync, dir, /*partitions=*/4);
+  table.Row({"wal-async-p4", Fmt(async_p4.Tps(), 0),
+             Fmt((off.Tps() / async_p4.Tps() - 1.0) * 100.0, 2),
+             MbOnDisk(async_p4), AvgGroupSize(async_p4)});
+  EmitRunJson("overhead_durability", "mv3c-wal-async-p4", 10, async_p4);
 
   // Sync ack from a single-threaded submitter is epoch-interval bound:
   // the stream is smaller and the number is a latency statement.

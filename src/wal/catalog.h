@@ -42,7 +42,10 @@ namespace mv3c::wal {
 /// engines in the link graph) stays ignorant of MVCC and SV table types.
 ///
 /// Replay is non-transactional: ReplayLogDir hands records over sorted by
-/// commit_ts, and each binding applies them with the tables' load paths
+/// commit_ts — merging the streams of a partitioned log (epoch order
+/// across streams, timestamp order within an epoch) behind that one
+/// callback, capped at the durable cut (recovery.h) — and each binding
+/// applies them with the tables' load paths
 /// (version Push for MVCC, if-newer LoadRow/LoadTombstone for SV).
 /// Applying in ascending commit order keeps MVCC chains head-newest and
 /// makes SV last-write-wins trivially correct. Checkpoint loading is

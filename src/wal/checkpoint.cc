@@ -210,7 +210,9 @@ bool Checkpointer::RunRound() {
 
   // Truncate to the PREVIOUS checkpoint's cut: both retained manifests
   // keep their complete WAL suffixes, so recovery can always fall back one
-  // checkpoint without dangling.
+  // checkpoint without dangling. Per partition this only ever deletes a
+  // stream's oldest segments, never its tail, so the min-over-streams
+  // durable cut recovery computes (DESIGN §5i) is unaffected.
   if (config_.truncate_wal && prev_cut_epoch_ > 0) {
     ckpt_wal_segments_truncated_ +=
         lm_->TruncateSegmentsBefore(prev_cut_epoch_);

@@ -12,20 +12,23 @@ namespace mv3c::wal {
 
 class LogManager;
 
-/// One per-worker staging buffer of serialized records, drained by the
-/// group-commit writer once per epoch. Committers append whole
-/// transactions under the buffer lock; the writer drains under the same
+/// One per-worker staging buffer of serialized records, drained by a
+/// group-commit flusher once per epoch. Committers append whole
+/// transactions under the buffer lock; the flusher drains under the same
 /// lock, so a transaction's records land contiguously inside exactly one
 /// epoch block (the transaction-consistency guarantee recovery leans on).
+/// Each buffer belongs to exactly one log partition — a transaction's
+/// records therefore land in exactly one partition's stream, which is what
+/// lets the per-partition tagging argument below stand on its own.
 ///
 /// Epoch-tagging protocol (the reason WaitDurable is race-free): the
-/// writer *first* bumps the manager's current epoch from e to e+1, *then*
-/// drains each buffer. A committer reads the epoch inside its buffer-lock
-/// hold: if it read e it still holds the lock when the drain arrives, so
-/// its bytes are captured by round e; if it acquires the lock after the
-/// drain released it, the lock acquire synchronizes with the writer's
-/// release and the committer reads ≥ e+1. Either way, a record tagged T
-/// is on disk once durable_epoch ≥ T.
+/// sequencer *first* bumps the manager's current epoch from e to e+1,
+/// *then* every partition drains its buffers. A committer reads the epoch
+/// inside its buffer-lock hold: if it read e it still holds the lock when
+/// the drain arrives, so its bytes are captured by round e; if it acquires
+/// the lock after the drain released it, the lock acquire synchronizes
+/// with the flusher's release and the committer reads ≥ e+1. Either way, a
+/// record tagged T is on disk once durable_epoch ≥ T.
 class LogBuffer {
  public:
   LogBuffer(const LogBuffer&) = delete;
@@ -49,14 +52,28 @@ class LogBuffer {
   explicit LogBuffer(const std::atomic<uint64_t>* current_epoch)
       : current_epoch_(current_epoch) {}
 
-  /// Writer side: moves the staged bytes into `out`, resets the buffer.
+  /// Sequencer-side idle probe. A true result is only meaningful relative
+  /// to a clock value read *before* the probe: the lock release here
+  /// synchronizes with any later appender's lock acquire, whose epoch-tag
+  /// read is then coherence-ordered after the sequencer's — so every
+  /// record this probe missed carries a tag ≥ that earlier clock read.
+  bool Empty() MV3C_EXCLUDES(lock_) {
+    SpinLockGuard g(lock_);
+    return bytes_.empty();
+  }
+
+  /// Flusher side: swaps the staged bytes into `out` (which must arrive
+  /// empty) and resets the buffer. O(1) under the spinlock — committers
+  /// never stall behind a payload-sized memcpy; the concatenation happens
+  /// on the flusher thread, outside any committer-visible lock. The
+  /// capacities ping-pong between the two vectors, so steady-state appends
+  /// still never allocate.
   void Drain(std::vector<uint8_t>* out, uint32_t* n_records)
       MV3C_EXCLUDES(lock_) {
     SpinLockGuard g(lock_);
     if (bytes_.empty()) return;
-    out->insert(out->end(), bytes_.begin(), bytes_.end());
+    out->swap(bytes_);
     *n_records += n_records_;
-    bytes_.clear();  // keeps capacity: steady-state appends never allocate
     n_records_ = 0;
   }
 

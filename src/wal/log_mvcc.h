@@ -49,7 +49,10 @@ inline uint64_t LogMvccCommit(LogManager& lm, LogBuffer*& buf,
   }
   if (!any) return 0;
   obs::ScopedPhaseTimer timer(&lm.metrics(), obs::Phase::kLogSerialize);
-  if (buf == nullptr) buf = lm.CreateBuffer();
+  // Bind the buffer to this thread's commit-TID lane: log partitioning
+  // then follows the §5h per-lane TID layout, and a worker's transactions
+  // stay in one partition's stream.
+  if (buf == nullptr) buf = lm.CreateBuffer(ThisThreadTidLane());
   return buf->AppendTransaction(
       [&](std::vector<uint8_t>& out, uint32_t& n_records) {
         for (const VersionBase* v : rec.versions) {

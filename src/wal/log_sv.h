@@ -62,6 +62,8 @@ inline uint64_t LogSvCommitAndInstall(LogManager& lm, LogBuffer*& buf,
     return 0;
   }
   obs::ScopedPhaseTimer timer(&lm.metrics(), obs::Phase::kLogSerialize);
+  // Round-robin partition placement (no lane hint): the SV engines have no
+  // per-lane commit-TID layout to mirror, and this header stays mvcc-free.
   if (buf == nullptr) buf = lm.CreateBuffer();
   return buf->AppendTransaction(
       [&](std::vector<uint8_t>& out, uint32_t& n_records) {

@@ -6,18 +6,21 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <vector>
 
 namespace mv3c::wal {
 
 namespace {
 
-/// Segment file names are zero-padded (`wal-%06u.log`), so lexicographic
-/// order is creation order.
+/// Segment file names are zero-padded (`wal-%06u.log` /
+/// `wal-pPP-%06u.log`), so lexicographic order is creation order within a
+/// stream.
 std::vector<std::string> ListSegments(const std::string& dir) {
   std::vector<std::string> names;
   DIR* d = ::opendir(dir.c_str());
@@ -32,6 +35,19 @@ std::vector<std::string> ListSegments(const std::string& dir) {
   ::closedir(d);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+/// Stream key = filename minus ".log" minus the trailing segment digits:
+/// "wal-000003.log" -> "wal-", "wal-p02-000003.log" -> "wal-p02-". A name
+/// with no trailing digits keys its own stream (and will fail header
+/// validation on scan).
+std::string StreamKey(const std::string& name) {
+  std::string base = name.substr(0, name.size() - 4);  // strip ".log"
+  size_t pos = base.size();
+  while (pos > 0 && std::isdigit(static_cast<unsigned char>(base[pos - 1]))) {
+    --pos;
+  }
+  return base.substr(0, pos);
 }
 
 bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
@@ -61,6 +77,7 @@ bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
 
 struct ParsedRecord {
   RecordView view;  // pointers into the owning segment buffer
+  uint64_t epoch;   // the owning block's epoch (for the durable cut)
 };
 
 }  // namespace
@@ -80,7 +97,7 @@ const char* LogDirStateName(LogDirState s) {
 }
 
 std::string RecoveryReport::Summary() const {
-  char buf[512];
+  char buf[640];
   size_t n = 0;
   if (used_checkpoint) {
     n += static_cast<size_t>(std::snprintf(
@@ -105,11 +122,17 @@ std::string RecoveryReport::Summary() const {
         buf + n, sizeof(buf) - n, " @%s+%" PRIu64 " (%s)",
         stop_segment.c_str(), stop_offset, stop_reason.c_str()));
   }
-  (void)std::snprintf(buf + n, sizeof(buf) - n,
-                      ": %u segments, %" PRIu64 " blocks, %" PRIu64
-                      " records, max_epoch=%" PRIu64,
-                      segments_scanned, blocks_applied, records_applied,
-                      max_epoch);
+  n += static_cast<size_t>(std::snprintf(
+      buf + n, sizeof(buf) - n,
+      ": %u segments, %" PRIu64 " blocks, %" PRIu64
+      " records, max_epoch=%" PRIu64,
+      segments_scanned, blocks_applied, records_applied, max_epoch));
+  if (streams > 1) {
+    (void)std::snprintf(buf + n, sizeof(buf) - n,
+                        " [%u streams, cut=%" PRIu64 ", %" PRIu64
+                        " blocks beyond cut]",
+                        streams, durable_cut, blocks_beyond_cut);
+  }
   return buf;
 }
 
@@ -121,136 +144,176 @@ RecoveryReport ReplayLogDir(
   // Buffers must outlive the sort+apply below: RecordViews point into them.
   std::vector<std::vector<uint8_t>> buffers;
   std::vector<ParsedRecord> records;
-  uint64_t last_epoch = 0;
+  // Epochs of every validated, non-checkpoint-subsumed block across all
+  // streams; split by the durable cut at the end.
+  std::vector<uint64_t> block_epochs;
 
   const std::vector<std::string> names = ListSegments(dir);
   report.state = names.empty() ? LogDirState::kNoLog : LogDirState::kClean;
 
-  for (size_t seg = 0; seg < names.size(); ++seg) {
-    const std::string& name = names[seg];
-    // Damage in any segment but the last means acknowledged history was
-    // corrupted at rest; in the last it is ordinary crash residue.
-    auto stop = [&](std::string reason, uint64_t offset) {
-      report.torn_tail = true;
-      report.state = seg + 1 == names.size()
-                         ? LogDirState::kTornTail
-                         : LogDirState::kCorruptInterior;
-      report.stop_reason = name + ": " + reason;
-      report.stop_segment = name;
-      report.stop_offset = offset;
-    };
+  // std::map: streams scan in deterministic (sorted-key) order, and the
+  // per-stream name lists inherit the sorted order of `names`.
+  std::map<std::string, std::vector<std::string>> streams;
+  for (const std::string& n : names) streams[StreamKey(n)].push_back(n);
+  report.streams = static_cast<uint32_t>(streams.size());
 
-    buffers.emplace_back();
-    std::vector<uint8_t>& buf = buffers.back();
-    if (!ReadWholeFile(dir + "/" + name, &buf)) {
-      stop("unreadable", 0);
-      break;
-    }
-    ++report.segments_scanned;
+  uint64_t cut = ~0ull;
+  bool any_interior = false;
+  bool any_torn = false;
 
-    if (buf.size() < sizeof(SegmentHeader)) {
-      // A crash right after rotation can leave a truncated (even empty)
-      // trailing segment; nothing in it was ever acknowledged.
-      stop("truncated segment header", 0);
-      break;
-    }
-    SegmentHeader sh;
-    std::memcpy(&sh, buf.data(), sizeof(sh));
-    if (!ValidSegmentHeader(sh)) {
-      stop("bad segment header", 0);
-      break;
-    }
+  for (const auto& [key, segs] : streams) {
+    uint64_t last_epoch = 0;  // per stream: epochs strictly increase
+    for (size_t seg = 0; seg < segs.size(); ++seg) {
+      const std::string& name = segs[seg];
+      // Damage in any segment but the stream's last means acknowledged
+      // history was corrupted at rest; in the last it is ordinary crash
+      // residue. The report carries the first damage found.
+      auto stop = [&](std::string reason, uint64_t offset) {
+        const bool interior = seg + 1 != segs.size();
+        any_torn = true;
+        if (interior) any_interior = true;
+        if (report.stop_reason.empty()) {
+          report.stop_reason = name + ": " + reason;
+          report.stop_segment = name;
+          report.stop_offset = offset;
+        }
+      };
 
-    size_t off = sizeof(SegmentHeader);
-    bool segment_torn = false;
-    while (off < buf.size()) {
-      if (buf.size() - off < sizeof(BlockHeader)) {
-        stop("truncated block header", off);
-        segment_torn = true;
+      buffers.emplace_back();
+      std::vector<uint8_t>& buf = buffers.back();
+      if (!ReadWholeFile(dir + "/" + name, &buf)) {
+        stop("unreadable", 0);
         break;
       }
-      BlockHeader bh;
-      std::memcpy(&bh, buf.data() + off, sizeof(bh));
-      if (bh.magic != kBlockMagic) {
-        stop("bad block magic", off);
-        segment_torn = true;
+      ++report.segments_scanned;
+
+      if (buf.size() < sizeof(SegmentHeader)) {
+        // A crash right after rotation can leave a truncated (even empty)
+        // trailing segment; nothing in it was ever acknowledged.
+        stop("truncated segment header", 0);
         break;
       }
-      if (bh.header_crc != BlockHeaderCrc(bh)) {
-        stop("block header CRC mismatch", off);
-        segment_torn = true;
-        break;
-      }
-      const size_t payload_off = off + sizeof(BlockHeader);
-      if (buf.size() - payload_off < bh.payload_bytes) {
-        stop("truncated block payload", off);
-        segment_torn = true;
-        break;
-      }
-      const uint8_t* payload = buf.data() + payload_off;
-      if (crc32::Compute(payload, bh.payload_bytes) != bh.payload_crc) {
-        stop("block payload CRC mismatch", off);
-        segment_torn = true;
-        break;
-      }
-      if (bh.epoch <= last_epoch) {
-        // Epochs are strictly increasing across the whole log; a regression
-        // means the tail belongs to an older, partially-overwritten run.
-        stop("non-monotonic epoch", off);
-        segment_torn = true;
+      SegmentHeader sh;
+      std::memcpy(&sh, buf.data(), sizeof(sh));
+      if (!ValidSegmentHeader(sh)) {
+        stop("bad segment header", 0);
         break;
       }
 
-      if (bh.epoch <= options.min_epoch_exclusive) {
-        // Subsumed by the checkpoint: validated (above) but not applied.
+      size_t off = sizeof(SegmentHeader);
+      bool segment_torn = false;
+      while (off < buf.size()) {
+        if (buf.size() - off < sizeof(BlockHeader)) {
+          stop("truncated block header", off);
+          segment_torn = true;
+          break;
+        }
+        BlockHeader bh;
+        std::memcpy(&bh, buf.data() + off, sizeof(bh));
+        if (bh.magic != kBlockMagic) {
+          stop("bad block magic", off);
+          segment_torn = true;
+          break;
+        }
+        if (bh.header_crc != BlockHeaderCrc(bh)) {
+          stop("block header CRC mismatch", off);
+          segment_torn = true;
+          break;
+        }
+        const size_t payload_off = off + sizeof(BlockHeader);
+        if (buf.size() - payload_off < bh.payload_bytes) {
+          stop("truncated block payload", off);
+          segment_torn = true;
+          break;
+        }
+        const uint8_t* payload = buf.data() + payload_off;
+        if (crc32::Compute(payload, bh.payload_bytes) != bh.payload_crc) {
+          stop("block payload CRC mismatch", off);
+          segment_torn = true;
+          break;
+        }
+        if (bh.epoch <= last_epoch) {
+          // Epochs strictly increase within one stream; a regression means
+          // the tail belongs to an older, partially-overwritten run.
+          stop("non-monotonic epoch", off);
+          segment_torn = true;
+          break;
+        }
+
+        if (bh.epoch <= options.min_epoch_exclusive) {
+          // Subsumed by the checkpoint: validated (above) but not applied.
+          last_epoch = bh.epoch;
+          off = payload_off + bh.payload_bytes;
+          continue;
+        }
+
+        // The block checks out; parse its records (a heartbeat block has
+        // none). Record-level failures inside a CRC-valid block would be
+        // writer bugs, but stay defensive: cut the tail rather than apply
+        // garbage.
+        size_t roff = 0;
+        uint32_t parsed = 0;
+        bool bad_record = false;
+        const size_t block_records_start = records.size();
+        while (roff < bh.payload_bytes) {
+          if (bh.payload_bytes - roff < sizeof(RecordHeader)) {
+            bad_record = true;
+            break;
+          }
+          ParsedRecord r;
+          std::memcpy(&r.view.header, payload + roff, sizeof(RecordHeader));
+          const RecordHeader& rh = r.view.header;
+          const size_t len = sizeof(RecordHeader) +
+                             static_cast<size_t>(rh.key_bytes) + rh.val_bytes;
+          if (bh.payload_bytes - roff < len ||
+              !RecordCrcOk(payload + roff, rh)) {
+            bad_record = true;
+            break;
+          }
+          r.view.key = payload + roff + sizeof(RecordHeader);
+          r.view.val = r.view.key + rh.key_bytes;
+          r.epoch = bh.epoch;
+          records.push_back(r);
+          roff += len;
+          ++parsed;
+        }
+        if (bad_record || parsed != bh.n_records) {
+          records.resize(block_records_start);  // drop the partial block
+          stop("record framing mismatch inside block", off);
+          segment_torn = true;
+          break;
+        }
+
         last_epoch = bh.epoch;
-        report.max_epoch = bh.epoch;
+        block_epochs.push_back(bh.epoch);
         off = payload_off + bh.payload_bytes;
-        continue;
       }
-
-      // The block checks out; parse its records. Record-level failures
-      // inside a CRC-valid block would be writer bugs, but stay defensive:
-      // cut the tail rather than apply garbage.
-      size_t roff = 0;
-      uint32_t parsed = 0;
-      bool bad_record = false;
-      const size_t block_records_start = records.size();
-      while (roff < bh.payload_bytes) {
-        if (bh.payload_bytes - roff < sizeof(RecordHeader)) {
-          bad_record = true;
-          break;
-        }
-        ParsedRecord r;
-        std::memcpy(&r.view.header, payload + roff, sizeof(RecordHeader));
-        const RecordHeader& rh = r.view.header;
-        const size_t len =
-            sizeof(RecordHeader) +
-            static_cast<size_t>(rh.key_bytes) + rh.val_bytes;
-        if (bh.payload_bytes - roff < len ||
-            !RecordCrcOk(payload + roff, rh)) {
-          bad_record = true;
-          break;
-        }
-        r.view.key = payload + roff + sizeof(RecordHeader);
-        r.view.val = r.view.key + rh.key_bytes;
-        records.push_back(r);
-        roff += len;
-        ++parsed;
-      }
-      if (bad_record || parsed != bh.n_records) {
-        records.resize(block_records_start);  // drop the partial block
-        stop("record framing mismatch inside block", off);
-        segment_torn = true;
-        break;
-      }
-
-      last_epoch = bh.epoch;
-      report.max_epoch = bh.epoch;
-      ++report.blocks_applied;
-      off = payload_off + bh.payload_bytes;
+      if (segment_torn) break;
     }
-    if (segment_torn) break;
+    // This stream vouches for epochs up to its last valid block. The
+    // durable cut is the min across streams: an epoch was acknowledged
+    // only once EVERY partition fsynced its block for it, and heartbeat
+    // blocks guarantee every stream has a block for every flushed epoch —
+    // so a stream ending earlier than the others really did lose
+    // unacknowledged tail, and nothing past its end was durable anywhere.
+    cut = std::min(cut, last_epoch);
+  }
+  if (streams.empty()) cut = 0;
+  report.durable_cut = cut;
+  report.max_epoch = cut;
+
+  if (any_torn) {
+    report.torn_tail = true;
+    report.state = any_interior ? LogDirState::kCorruptInterior
+                                : LogDirState::kTornTail;
+  }
+
+  for (const uint64_t e : block_epochs) {
+    if (e <= cut) {
+      ++report.blocks_applied;
+    } else {
+      ++report.blocks_beyond_cut;
+    }
   }
 
   // Workers interleave arbitrarily inside an epoch block; rebuild version
@@ -261,6 +324,7 @@ RecoveryReport ReplayLogDir(
                      return a.view.header.commit_ts < b.view.header.commit_ts;
                    });
   for (const ParsedRecord& r : records) {
+    if (r.epoch > cut) continue;  // round never acknowledged; not durable
     if (apply(r.view)) {
       ++report.records_applied;
       if (r.view.header.commit_ts > report.max_commit_ts) {

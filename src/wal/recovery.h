@@ -41,6 +41,21 @@ struct RecoveryReport {
   /// block, bad CRC, truncated file) — i.e. `state` is kTornTail or
   /// kCorruptInterior. The applied prefix is still transaction-consistent.
   bool torn_tail = false;
+  /// Number of log streams found: 1 for a legacy/single-partition dir
+  /// (`wal-NNNNNN.log`), one per partition (`wal-pPP-NNNNNN.log`) for a
+  /// partitioned log.
+  uint32_t streams = 0;
+  /// The durable cut: min over streams of the last valid block epoch. Only
+  /// blocks with epoch <= this are applied — a stream that stops earlier
+  /// (torn tail, lost fsync) caps what *every* stream may contribute,
+  /// since a round is only acknowledged once all partitions fsynced it
+  /// (DESIGN §5i). For a single stream this equals the last valid block
+  /// epoch, i.e. exactly the pre-partitioning behavior.
+  uint64_t durable_cut = 0;
+  /// Valid blocks dropped because their epoch exceeded durable_cut (their
+  /// round never completed on some other stream, so it was never
+  /// acknowledged durable).
+  uint64_t blocks_beyond_cut = 0;
   LogDirState state = LogDirState::kNoLog;
   std::string stop_reason;   // human-readable; empty for a clean log
   std::string stop_segment;  // segment file where the scan stopped
@@ -76,19 +91,28 @@ struct ReplayOptions {
   uint64_t min_epoch_exclusive = 0;
 };
 
-/// Scans a log directory (segments in filename order), validates framing
-/// layer by layer — segment header, block magic + header CRC, payload
-/// length + payload CRC, per-record CRC, epoch monotonicity — and hands
-/// every record of every valid block past `options.min_epoch_exclusive`
-/// to `apply` in commit-timestamp order (records are collected per scan
-/// and stable-sorted by commit_ts before application: workers interleave
+/// Scans a log directory, validates framing layer by layer — segment
+/// header, block magic + header CRC, payload length + payload CRC,
+/// per-record CRC, epoch monotonicity — and hands every record of every
+/// applied block past `options.min_epoch_exclusive` to `apply` in
+/// commit-timestamp order (records are collected per scan and
+/// stable-sorted by commit_ts before application: workers interleave
 /// arbitrarily inside an epoch block, but version chains must be rebuilt
 /// oldest-first).
 ///
-/// The scan stops at the FIRST invalid byte: everything before it is the
-/// longest durable prefix (group commit fsyncs whole blocks in epoch
-/// order, so nothing after a torn block can have been acknowledged). The
-/// report's `state`/`stop_segment`/`stop_offset` say where and why.
+/// Segment files are grouped into streams by name prefix (one stream for
+/// the legacy `wal-NNNNNN.log` naming, one per partition for
+/// `wal-pPP-NNNNNN.log`); within each stream segments scan in filename
+/// order and epochs must strictly increase. Each stream's scan stops at
+/// its FIRST invalid byte: everything before it is that stream's longest
+/// valid prefix (each partition fsyncs whole blocks in epoch order, so
+/// nothing after a torn block in a stream can have been acknowledged).
+/// Application is then capped at the *durable cut* — the min over streams
+/// of the last valid block epoch — because an epoch was only acknowledged
+/// once every partition fsynced its block (heartbeat blocks keep idle
+/// partitions' streams current, so a stream ending early really did lose
+/// its tail). The report's `state`/`stop_segment`/`stop_offset` say where
+/// and why the first-damaged stream stopped.
 ///
 /// `apply` returning false means "unknown table": the record is counted in
 /// records_skipped_unknown_table and the scan continues.

@@ -11,11 +11,23 @@
 
 namespace mv3c::wal {
 
-/// On-disk layout of the redo log (DESIGN §5f). A log directory holds
-/// numbered segment files `wal-NNNNNN.log`; each segment is one
-/// SegmentHeader followed by a sequence of epoch blocks; each block is one
-/// BlockHeader followed by `payload_bytes` of concatenated records; each
-/// record is one RecordHeader followed by its key and after-image bytes.
+/// On-disk layout of the redo log (DESIGN §5f, §5i). A log directory holds
+/// numbered segment files — `wal-NNNNNN.log` for a single-partition log,
+/// `wal-pPP-NNNNNN.log` (one independently numbered stream per partition)
+/// when `WalConfig::partitions > 1`; each segment is one SegmentHeader
+/// followed by a sequence of epoch blocks; each block is one BlockHeader
+/// followed by `payload_bytes` of concatenated records; each record is one
+/// RecordHeader followed by its key and after-image bytes. The structs are
+/// identical in both layouts: a partitions=1 log is byte-for-byte the
+/// pre-partitioning format.
+///
+/// Partitioned streams additionally contain *heartbeat* blocks —
+/// `payload_bytes == 0, n_records == 0` — written by partitions that had
+/// nothing to drain in a round where some other partition did. They give
+/// every stream a block for every flushed epoch, so recovery can tell "this
+/// stream was idle" from "this stream's tail was lost": its durable cut is
+/// the minimum over streams of the last valid block epoch (DESIGN §5i).
+/// Single-partition logs never write them.
 ///
 /// Integrity is layered: the block header carries a CRC over itself plus a
 /// CRC over its payload (torn-tail detection — recovery stops at the first
@@ -55,12 +67,12 @@ inline bool ValidSegmentHeader(const SegmentHeader& h) {
                                                      header_crc));
 }
 
-/// One group-commit epoch: everything the writer drained from the
-/// per-worker buffers in one round, made durable by a single fsync.
-/// Epochs are strictly increasing within and across segments. A
-/// transaction's records never span blocks (they are appended under one
-/// buffer-lock hold), so any prefix of valid blocks is
-/// transaction-consistent.
+/// One group-commit epoch: everything one partition's flusher drained from
+/// its buffers in one round, made durable by a single fsync. Epochs are
+/// strictly increasing within and across the segments of one stream (every
+/// partition writes at most one block per round). A transaction's records
+/// never span blocks (they are appended under one buffer-lock hold), so
+/// any per-stream prefix of valid blocks is transaction-consistent.
 struct BlockHeader {
   uint32_t magic;       // kBlockMagic
   uint32_t header_crc;  // CRC32-C over this header with header_crc zeroed

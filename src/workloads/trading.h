@@ -65,8 +65,24 @@ struct OrderPayload {
 static_assert(sizeof(OrderPayload) <= kPayloadBytes);
 
 inline Blob EncodePayload(const OrderPayload& p, uint64_t key) {
+  // Copy through a zeroed struct: OrderPayload::Item has padding after
+  // `buy`, and memcpy'ing `p` directly would bake whatever stack garbage
+  // sits in those bytes into the ciphertext — leaking uninitialized
+  // memory into logged rows and making otherwise-identical runs produce
+  // different row bytes (the recovery-equivalence digests compare them).
+  OrderPayload clean;
+  std::memset(&clean, 0, sizeof(clean));
+  clean.trade_id = p.trade_id;
+  clean.timestamp = p.timestamp;
+  clean.n_items = p.n_items;
+  for (uint32_t i = 0; i < kMaxOrderItems; ++i) {
+    // Scalar assignments, not struct copies: a trivially-copyable struct
+    // assignment may lower to memcpy and drag `p`'s padding along.
+    clean.items[i].security_id = p.items[i].security_id;
+    clean.items[i].buy = p.items[i].buy;
+  }
   Blob blob{};
-  std::memcpy(blob.data(), &p, sizeof(p));
+  std::memcpy(blob.data(), &clean, sizeof(clean));
   StreamCipher(key).Apply(&blob);
   return blob;
 }

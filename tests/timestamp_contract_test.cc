@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <thread>
@@ -411,6 +412,46 @@ TEST(TimestampContract, CommitTsEpochNeverExceedsRedoTag) {
     // The flush rounds really advanced the shared clock past epoch 1, so
     // the assertion above covered epoch transitions, not just round zero.
     EXPECT_GT(mgr.epoch_clock().Current(), 1u);
+  }
+  fs::remove_all(dir);
+}
+
+/// Idle epoch headroom (§5h): TsEpoch is a bounded field of the commit
+/// TID, so the flush timer must not burn it while nothing commits. An
+/// idle log writer at a 200us interval used to bump the shared clock
+/// ~5000 times per second around the clock; now an idle round publishes
+/// durability at Current()-1 and leaves the clock alone. Tagging stays
+/// sound because the emptiness probe happens after the Current() read:
+/// any append the probe missed carries a tag >= Current(), above the
+/// published durable epoch.
+TEST(TimestampContract, IdleFlushRoundsBurnNoEpochHeadroom) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "ts_contract_idle_headroom";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    wal::WalConfig cfg;
+    cfg.dir = dir.string();
+    cfg.ack = wal::WalConfig::Ack::kAsync;
+    cfg.epoch_interval_us = 200;
+    wal::LogManager lm(cfg);
+    // One forced round so the writer has published at least one epoch.
+    ASSERT_TRUE(lm.FlushNow());
+    const uint64_t current = lm.current_epoch();
+    const uint64_t durable = lm.durable_epoch();
+    EXPECT_EQ(durable, current - 1);
+    // ~250 timer rounds with nothing staged. Before the fix this burned
+    // ~250 epochs of TID headroom; now the clock must not move at all.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(lm.current_epoch(), current);
+    EXPECT_EQ(lm.durable_epoch(), durable);
+    // The writer is still live: a forced flush bumps exactly once and
+    // acknowledges it.
+    ASSERT_TRUE(lm.FlushNow());
+    EXPECT_EQ(lm.current_epoch(), current + 1);
+    EXPECT_EQ(lm.durable_epoch(), durable + 1);
+    lm.Stop();
   }
   fs::remove_all(dir);
 }

@@ -68,6 +68,7 @@ class WalChaosTest : public ::testing::Test {
     cfg.dir = dir_.string();
     cfg.ack = wal::WalConfig::Ack::kAsync;
     cfg.epoch_interval_us = 50;
+    cfg.partitions = partitions_;  // 0 = auto (env); fixtures may pin
     mgr.EnableWal(cfg);
     banking::BankingDb db(&mgr, kAccounts, kInitial);
     wal::Catalog cat;
@@ -155,6 +156,7 @@ class WalChaosTest : public ::testing::Test {
   }
 
   fs::path dir_;
+  uint32_t partitions_ = 0;
 };
 
 TEST_F(WalChaosTest, TornBlockWrite) {
@@ -185,6 +187,57 @@ TEST_F(WalChaosTest, FsyncFailureFreezesLog) {
   const CrashRun run = RunUntilCrash(fp::Site::kWalFsyncFail);
   EXPECT_EQ(run.flush_failures, 1u);
   const Recovered r = Recover();
+  EXPECT_FALSE(r.report.torn_tail) << r.report.stop_reason;
+  EXPECT_GE(r.report.max_epoch, run.durable_epoch_at_crash);
+  ExpectConsistentPrefix(r, run);
+}
+
+// --- Partitioned log: one stream faults, the epoch must not be durable ----
+
+/// Same fault sites, but with the log split across four partition streams.
+/// The armed failpoint trips in exactly one partition's flusher (whichever
+/// evaluates it first — it may hit a data block or a heartbeat). The round
+/// barrier then fails the whole round, so the epoch is never reported
+/// durable even though the other three streams may hold intact blocks for
+/// it; recovery's min-over-streams cut must discard that overhang and land
+/// on a consistent prefix.
+class WalPartitionedChaosTest : public WalChaosTest {
+ protected:
+  void SetUp() override {
+    WalChaosTest::SetUp();
+    partitions_ = 4;
+  }
+};
+
+TEST_F(WalPartitionedChaosTest, OnePartitionTornWrite) {
+  const CrashRun run = RunUntilCrash(fp::Site::kWalShortWrite);
+  const Recovered r = Recover();
+  EXPECT_EQ(r.report.streams, 4u);
+  EXPECT_TRUE(r.report.torn_tail) << r.report.stop_reason;
+  // The torn stream caps the cut at the epoch before the failed round, so
+  // nothing past the last acknowledged durable epoch is applied even if the
+  // other streams carry intact blocks for the failed round.
+  EXPECT_LE(r.report.max_epoch, run.durable_epoch_at_crash);
+  EXPECT_LE(r.report.durable_cut, run.durable_epoch_at_crash);
+  ExpectConsistentPrefix(r, run);
+}
+
+TEST_F(WalPartitionedChaosTest, OnePartitionCrashAfterAppend) {
+  const CrashRun run = RunUntilCrash(fp::Site::kWalCrashAfterAppend);
+  const Recovered r = Recover();
+  EXPECT_EQ(r.report.streams, 4u);
+  // Every stream wrote its block intact before the simulated crash, so no
+  // stream tears and the cut may legitimately run past the durable point.
+  EXPECT_FALSE(r.report.torn_tail) << r.report.stop_reason;
+  EXPECT_GE(r.report.max_epoch, run.durable_epoch_at_crash);
+  ExpectConsistentPrefix(r, run);
+}
+
+TEST_F(WalPartitionedChaosTest, OnePartitionFsyncFailure) {
+  const CrashRun run = RunUntilCrash(fp::Site::kWalFsyncFail);
+  EXPECT_EQ(run.flush_failures, 1u);
+  const Recovered r = Recover();
+  EXPECT_EQ(r.report.streams, 4u);
   EXPECT_FALSE(r.report.torn_tail) << r.report.stop_reason;
   EXPECT_GE(r.report.max_epoch, run.durable_epoch_at_crash);
   ExpectConsistentPrefix(r, run);

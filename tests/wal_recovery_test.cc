@@ -394,6 +394,7 @@ class WalTornTailTest : public WalRecoveryTest {
     TransactionManager mgr;
     wal::WalConfig c = Config();
     c.epoch_interval_us = 1;  // many small epochs => many blocks
+    c.partitions = 1;         // the tests corrupt wal-000001.log in place
     mgr.EnableWal(c);
     banking::BankingDb db(&mgr, 50, 10'000);
     wal::Catalog cat;

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -266,7 +267,9 @@ TEST_F(WalTest, EmptyAndMissingDirectories) {
 }
 
 TEST_F(WalTest, TruncatedTailIsCutAtBlockBoundary) {
-  LogManager lm(Config());
+  WalConfig c = Config();
+  c.partitions = 1;  // the test edits wal-000001.log bytes directly
+  LogManager lm(c);
   LogBuffer* buf = lm.CreateBuffer();
   AppendOne(lm, buf, 1, 10, 1, 100);
   ASSERT_TRUE(lm.FlushNow());
@@ -293,7 +296,9 @@ TEST_F(WalTest, TruncatedTailIsCutAtBlockBoundary) {
 }
 
 TEST_F(WalTest, CorruptPayloadByteInvalidatesWholeBlock) {
-  LogManager lm(Config());
+  WalConfig c = Config();
+  c.partitions = 1;  // the test edits wal-000001.log bytes directly
+  LogManager lm(c);
   LogBuffer* buf = lm.CreateBuffer();
   AppendOne(lm, buf, 1, 10, 1, 100);
   ASSERT_TRUE(lm.FlushNow());
@@ -321,6 +326,88 @@ TEST_F(WalTest, CorruptPayloadByteInvalidatesWholeBlock) {
       });
   EXPECT_TRUE(r.torn_tail);
   EXPECT_EQ(ts, (std::vector<uint64_t>{10}));  // first epoch only
+}
+
+TEST_F(WalTest, WaitDurableVsStopHammer) {
+  // Regression: the old wait predicate woke on stop_requested_ BEFORE the
+  // writer's final flush published, so a waiter racing Stop() could
+  // spuriously return false for an epoch that final round does make
+  // durable. Now waiters are only released by durable publication, crash,
+  // or `stopped_` (set after the final round) — so every wait here must
+  // succeed, no matter how the race lands.
+  for (int iter = 0; iter < 100; ++iter) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    LogManager lm(Config());
+    LogBuffer* buf = lm.CreateBuffer();
+    // The append happens-before Stop(): the final forced round must flush
+    // it, so the racing waiter below may never observe false. (An append
+    // racing Stop() itself could legitimately land after the final round
+    // and report not-durable — that is not this bug.)
+    const uint64_t e = AppendOne(lm, buf, 1, 10, 1, 100);
+    bool waited_ok = false;
+    std::thread waiter([&] { waited_ok = lm.WaitDurable(e); });
+    lm.Stop();
+    waiter.join();
+    EXPECT_TRUE(waited_ok) << "iteration " << iter;
+  }
+}
+
+TEST_F(WalTest, SyncWaitCounterCountsOnlyCommitWaits) {
+  WalConfig c = Config();
+  c.epoch_interval_us = 50 * 1000;  // writer only flushes when kicked
+  LogManager lm(c);
+  LogBuffer* buf = lm.CreateBuffer();
+
+  // Test/teardown barriers must not register as commit-path group-commit
+  // waits, even when they block.
+  const uint64_t e1 = AppendOne(lm, buf, 1, 10, 1, 100);
+  ASSERT_TRUE(lm.WaitDurable(e1));
+  AppendOne(lm, buf, 1, 20, 2, 200);
+  ASSERT_TRUE(lm.FlushNow());
+
+  // A commit-path wait that actually blocks counts once...
+  const uint64_t e3 = AppendOne(lm, buf, 1, 30, 3, 300);
+  ASSERT_TRUE(lm.WaitCommitDurable(e3));
+  // ...and the fast path (already durable) does not.
+  ASSERT_TRUE(lm.WaitCommitDurable(e3));
+
+  lm.Stop();
+  const obs::MetricsSnapshot snap = lm.metrics().Snapshot();
+  EXPECT_EQ(snap.Value("wal_sync_waits"), 1u);
+}
+
+TEST_F(WalTest, PartitionedStreamsNamingAndHeartbeats) {
+  WalConfig c = Config();
+  c.partitions = 4;
+  LogManager lm(c);
+  ASSERT_EQ(lm.partition_count(), 4u);
+  LogBuffer* buf = lm.CreateBuffer(/*lane_hint=*/2);
+  const uint64_t e = AppendOne(lm, buf, 1, 10, 1, 100);
+  ASSERT_TRUE(lm.WaitDurable(e));
+  lm.Stop();
+
+  // Four per-partition streams on disk, none with the legacy name.
+  for (uint32_t p = 0; p < 4; ++p) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "wal-p%02u-000001.log", p);
+    EXPECT_TRUE(fs::exists(dir_ / name)) << name;
+  }
+  EXPECT_FALSE(fs::exists(dir_ / "wal-000001.log"));
+
+  // Replay merges the streams: the record comes back, the idle partitions'
+  // heartbeat blocks cover the flushed epoch (durable cut reaches the
+  // record's tag even though three streams carried no data).
+  std::vector<uint64_t> ts;
+  const RecoveryReport r =
+      ReplayLogDir(dir_.string(), [&](const RecordView& rec) {
+        ts.push_back(rec.header.commit_ts);
+        return true;
+      });
+  EXPECT_FALSE(r.torn_tail) << r.stop_reason;
+  EXPECT_EQ(r.streams, 4u);
+  EXPECT_GE(r.durable_cut, e);
+  EXPECT_EQ(ts, (std::vector<uint64_t>{10}));
 }
 
 TEST_F(WalTest, MetricsCounters) {

@@ -181,10 +181,29 @@ bool DumpManifest(const char* path, const std::vector<uint8_t>& buf) {
   return crc_ok;
 }
 
+/// Parses the partition id out of a `wal-pPP-NNNNNN.log` basename; returns
+/// -1 for the single-stream `wal-NNNNNN.log` naming (or anything else).
+int PartitionOfPath(const char* path) {
+  const char* base = std::strrchr(path, '/');
+  base = base == nullptr ? path : base + 1;
+  unsigned partition = 0;
+  unsigned seg = 0;
+  if (std::sscanf(base, "wal-p%2u-%6u.log", &partition, &seg) == 2) {
+    return static_cast<int>(partition);
+  }
+  return -1;
+}
+
 /// Dumps one WAL segment; returns true if every CRC verified.
 bool DumpSegment(const char* path, const std::vector<uint8_t>& buf,
                  bool verbose) {
-  std::printf("%s: %zu bytes\n", path, buf.size());
+  const int partition = PartitionOfPath(path);
+  if (partition >= 0) {
+    std::printf("%s: %zu bytes (partition %d stream)\n", path, buf.size(),
+                partition);
+  } else {
+    std::printf("%s: %zu bytes\n", path, buf.size());
+  }
   if (buf.size() < sizeof(SegmentHeader)) {
     std::printf("  [truncated segment header]\n");
     return false;
@@ -218,11 +237,16 @@ bool DumpSegment(const char* path, const std::vector<uint8_t>& buf,
     const bool payload_ok =
         payload_present &&
         mv3c::crc32::Compute(payload, bh.payload_bytes) == bh.payload_crc;
+    // A heartbeat block (partitioned logs only) proves its stream was
+    // merely idle for the epoch, not torn — worth calling out explicitly.
+    const bool heartbeat =
+        header_ok && bh.payload_bytes == 0 && bh.n_records == 0;
     std::printf("  @%zu block epoch=%" PRIu64
-                " records=%u payload=%uB header_crc=%s payload_crc=%s\n",
+                " records=%u payload=%uB header_crc=%s payload_crc=%s%s\n",
                 off, bh.epoch, bh.n_records, bh.payload_bytes,
                 header_ok ? "ok" : "BAD",
-                !payload_present ? "missing" : (payload_ok ? "ok" : "BAD"));
+                !payload_present ? "missing" : (payload_ok ? "ok" : "BAD"),
+                heartbeat ? " [heartbeat]" : "");
     if (!header_ok || !payload_present) return false;
     clean = clean && payload_ok;
 
