@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
   TablePrinter table({"attr_validation", "mv3c_tps", "mv3c_repairs",
                       "omvcc_tps", "omvcc_fails"});
   for (bool enabled : {true, false}) {
-    g_attribute_level_validation.store(enabled);
+    // Toggled between runs, before each run's workers start; thread
+    // creation publishes the flag to them.
+    g_attribute_level_validation.store(enabled, std::memory_order_relaxed);
     const RunResult m = RunTpccMv3c(16, s);
     const RunResult o = RunTpccOmvcc(16, s);
     table.Row({enabled ? "on" : "off", Fmt(m.Tps(), 0),
@@ -38,6 +40,6 @@ int main(int argc, char** argv) {
     EmitRunJson("ablation_attr_validation",
                 enabled ? "omvcc-attr-on" : "omvcc-attr-off", 16, o);
   }
-  g_attribute_level_validation.store(true);
+  g_attribute_level_validation.store(true, std::memory_order_relaxed);
   return 0;
 }

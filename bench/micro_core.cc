@@ -79,7 +79,8 @@ BENCHMARK(BM_UpdateCommit);
 
 void BM_PredicateMatch(benchmark::State& state) {
   const bool attr = state.range(0) != 0;
-  g_attribute_level_validation.store(attr);
+  // Toggled before the measured threads start; thread creation publishes.
+  g_attribute_level_validation.store(attr, std::memory_order_relaxed);
   TransactionManager mgr;
   TestTable table("t", 16);
   Transaction loader(&mgr);
@@ -94,7 +95,7 @@ void BM_PredicateMatch(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pred.ConflictsWith(*v));
   }
-  g_attribute_level_validation.store(true);
+  g_attribute_level_validation.store(true, std::memory_order_relaxed);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PredicateMatch)->Arg(0)->Arg(1);

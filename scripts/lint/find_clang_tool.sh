@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Shared clang tool discovery for the lint suite and CI.
+#
+# Usage: scripts/lint/find_clang_tool.sh <tool> [tool...]
+#   Prints the first found spelling of the first tool that resolves —
+#   bare name first, then Debian/Ubuntu versioned suffixes, newest first.
+#   Exit 0 with the spelling on stdout, exit 1 (silent) when none resolve.
+#
+# Example: CLANG_QUERY="$(scripts/lint/find_clang_tool.sh clang-query)" || ...
+
+set -u
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <tool> [tool...]" >&2
+  exit 2
+fi
+
+for tool in "$@"; do
+  for cand in "${tool}" "${tool}-20" "${tool}-19" "${tool}-18" \
+              "${tool}-17" "${tool}-16" "${tool}-15" "${tool}-14"; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      echo "${cand}"
+      exit 0
+    fi
+  done
+done
+exit 1

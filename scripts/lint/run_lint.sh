@@ -1,22 +1,28 @@
 #!/usr/bin/env bash
-# Structured lint suite: clang-query AST rules over compile_commands.json.
+# Structured lint suite driver (DESIGN §5e/§5j).
 #
-# Replaces the old grep-based hygiene checks (raw version new/delete, stray
-# *Stats structs) with matchers that see types and template arguments
-# instead of token spellings, plus a rule greps could never express
-# (std::lock_guard<SpinLock> hiding a lock from the thread-safety
-# analysis). Rules live in scripts/lint/rules/*.query, one file per rule,
-# each self-documenting.
+# Prefers the mv3c_analyze libTooling binary (tools/mv3c_analyze — all nine
+# protocol rules, suppressions, per-TU result caching) and falls back to
+# the clang-query AST rules (scripts/lint/rules/*.query — the original five
+# matchers) on machines without clang dev headers. Neither tool available
+# degrades to a no-op unless MV3C_LINT_STRICT=1 (CI sets it), where the
+# gate must never silently skip.
 #
 # Usage: scripts/lint/run_lint.sh [build-dir]
 #   build-dir defaults to `build` and must contain compile_commands.json
 #   (the top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS=ON).
 #
-# Exit codes: 0 clean (or tool unavailable and MV3C_LINT_STRICT unset),
+# Environment:
+#   MV3C_LINT_STRICT=1    missing tools are a setup error, not a skip.
+#   MV3C_LINT_FALLBACK=1  force the clang-query path even when the
+#                         analyzer binary exists (CI exercises this leg).
+#   MV3C_ANALYZE=path     analyzer binary override (default:
+#                         <build-dir>/tools/mv3c_analyze/mv3c_analyze).
+#   MV3C_LINT_CACHE=dir   analyzer result cache (default:
+#                         <build-dir>/mv3c_analyze_cache).
+#
+# Exit codes: 0 clean (or tools unavailable and MV3C_LINT_STRICT unset),
 #             1 rule violation, 2 setup error.
-# Set MV3C_LINT_STRICT=1 (CI does) to make a missing clang-query fatal:
-# locally the suite degrades to a no-op on gcc-only machines, but the gate
-# must never silently skip where it is the gate.
 
 set -u
 
@@ -30,20 +36,35 @@ if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
   exit 2
 fi
 
-CLANG_QUERY=""
-for cand in clang-query clang-query-20 clang-query-19 clang-query-18 \
-            clang-query-17 clang-query-16 clang-query-15 clang-query-14; do
-  if command -v "${cand}" >/dev/null 2>&1; then
-    CLANG_QUERY="${cand}"
-    break
+# ---------------------------------------------------------------------------
+# Preferred path: the mv3c_analyze binary.
+# ---------------------------------------------------------------------------
+ANALYZER="${MV3C_ANALYZE:-${BUILD_DIR}/tools/mv3c_analyze/mv3c_analyze}"
+if [[ "${MV3C_LINT_FALLBACK:-0}" == "0" && -x "${ANALYZER}" ]]; then
+  CACHE_DIR="${MV3C_LINT_CACHE:-${BUILD_DIR}/mv3c_analyze_cache}"
+  echo "lint: running ${ANALYZER} (cache: ${CACHE_DIR})"
+  "${ANALYZER}" -p "${BUILD_DIR}" --root "$(pwd)" --cache-dir "${CACHE_DIR}"
+  rc=$?
+  if [[ ${rc} -eq 0 ]]; then
+    echo "lint: ok   mv3c_analyze (all rules clean)"
   fi
-done
+  exit "${rc}"
+fi
+if [[ "${MV3C_LINT_FALLBACK:-0}" == "0" ]]; then
+  echo "lint: mv3c_analyze not built (${ANALYZER}); falling back to clang-query."
+fi
+
+# ---------------------------------------------------------------------------
+# Fallback path: clang-query over scripts/lint/rules/*.query.
+# ---------------------------------------------------------------------------
+CLANG_QUERY="$(scripts/lint/find_clang_tool.sh clang-query)" || CLANG_QUERY=""
 if [[ -z "${CLANG_QUERY}" ]]; then
   if [[ "${MV3C_LINT_STRICT:-0}" != "0" ]]; then
-    echo "lint: clang-query not found and MV3C_LINT_STRICT is set." >&2
+    echo "lint: neither mv3c_analyze nor clang-query available and" \
+         "MV3C_LINT_STRICT is set." >&2
     exit 2
   fi
-  echo "lint: clang-query not found; skipping AST lint (set" \
+  echo "lint: no lint tool found; skipping AST lint (set" \
        "MV3C_LINT_STRICT=1 to make this an error)."
   exit 0
 fi

@@ -104,12 +104,15 @@ class ThreadDriver {
     const auto t1 = std::chrono::steady_clock::now();
 
     DriveResult result;
-    result.committed = committed.load();
-    result.user_aborted = user_aborted.load();
-    result.exhausted = exhausted.load();
-    result.escalations = escalations.load();
-    result.max_rounds = max_rounds.load();
-    result.steps = steps.load();
+    // Relaxed snapshot reads: every writer thread has been join()ed above,
+    // and join() establishes a happens-before with each worker's final
+    // fetch_add, so no ordering stronger than relaxed is needed here.
+    result.committed = committed.load(std::memory_order_relaxed);
+    result.user_aborted = user_aborted.load(std::memory_order_relaxed);
+    result.exhausted = exhausted.load(std::memory_order_relaxed);
+    result.escalations = escalations.load(std::memory_order_relaxed);
+    result.max_rounds = max_rounds.load(std::memory_order_relaxed);
+    result.steps = steps.load(std::memory_order_relaxed);
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
     if (out_executors != nullptr) *out_executors = std::move(executors);
     return result;

@@ -413,11 +413,12 @@ class CuckooMap {
     for (size_t i = kNumLocks; i-- > 0;) locks_[i].unlock();
   }
 
-  Hash hasher_;
+  const Hash hasher_{};
   /// Guarded by the *stripe set*: a slot in bucket b may be touched only
   /// with LockFor(b) held (or every stripe, during Resize). Striping is a
   /// dynamic discipline clang capabilities cannot name, so there is no
   /// MV3C_GUARDED_BY here; see TwoBucketGuard for the dynamic coverage.
+  // mv3c-lint: allow(guarded_by_coverage)
   std::vector<Bucket> buckets_;
   std::atomic<size_t> bucket_mask_;
   mutable SpinLock locks_[kNumLocks];

@@ -49,7 +49,17 @@ VersionArena::~VersionArena() {
     }
   }
   DrainDeferred();
-  SpinLockGuard g(slabs_lock_);
+  // Detach the whole owned set under the lock, then leak-check and release
+  // outside it: operator delete and stderr diagnostics are blocking calls
+  // that must not run inside a spinlock critical section (lock_scope_io,
+  // DESIGN §5j). The swap is O(1) and freelisted slabs are a subset of
+  // all_, so clearing the freelist here cannot strand memory.
+  std::vector<Slab*> owned;
+  {
+    SpinLockGuard g(slabs_lock_);
+    owned.swap(all_);
+    freelist_.clear();
+  }
   // By construction the arena outlives every table and the GC that allocate
   // from it (it is destroyed with the TransactionManager, after the tables'
   // chains and the GC deques have run their destructors), so every object
@@ -58,7 +68,7 @@ VersionArena::~VersionArena() {
   // slab headers released below; fail loudly here instead of as a silent
   // use-after-free: log always, abort in debug builds.
   uint64_t leaked = 0;
-  for (Slab* slab : all_) leaked += slab->live.load(std::memory_order_relaxed);
+  for (Slab* slab : owned) leaked += slab->live.load(std::memory_order_relaxed);
   if (MV3C_UNLIKELY(leaked != 0)) {
     std::fprintf(stderr,
                  "VersionArena: %llu object(s) leaked at arena destruction; "
@@ -68,13 +78,7 @@ VersionArena::~VersionArena() {
   }
   // Release the memory regardless — ASan's leak checker would otherwise
   // double-report every payload inside.
-  for (Slab* slab : all_) {
-    UnpoisonRange(slab->payload(), slab->capacity);
-    slab->~Slab();
-    ::operator delete(slab, std::align_val_t(kSlabBytes));
-  }
-  all_.clear();
-  freelist_.clear();
+  for (Slab* slab : owned) ReleaseSlabMemory(slab);
 }
 
 Slab* VersionArena::NewSlab(size_t total_bytes, bool oversize) {
@@ -220,18 +224,30 @@ void VersionArena::RetireSlab(Slab* slab) {
     owner->deferred_.push_back(slab);
     return;
   }
-  SpinLockGuard g(owner->slabs_lock_);
-  owner->RecycleOrFreeLocked(slab);
-  // A retirement doubles as a drain point for previously deferred slabs, so
-  // a chaos schedule cannot strand them until teardown.
-  while (!owner->deferred_.empty()) {
-    Slab* parked = owner->deferred_.back();
-    owner->deferred_.pop_back();
-    owner->RecycleOrFreeLocked(parked);
+  // Recycle-or-detach runs under the lock; releasing a detached slab's
+  // memory waits until the guard closes (lock_scope_io, DESIGN §5j). A
+  // retirement still doubles as a drain point for previously deferred
+  // slabs — the O(1) swap takes the whole backlog so a chaos schedule
+  // cannot strand them until teardown.
+  Slab* detached = nullptr;
+  std::vector<Slab*> parked;
+  {
+    SpinLockGuard g(owner->slabs_lock_);
+    detached = owner->RecycleOrDetachLocked(slab);
+    parked.swap(owner->deferred_);
+  }
+  if (detached != nullptr) ReleaseSlabMemory(detached);
+  for (Slab* p : parked) {
+    Slab* freed = nullptr;
+    {
+      SpinLockGuard g(owner->slabs_lock_);
+      freed = owner->RecycleOrDetachLocked(p);
+    }
+    if (freed != nullptr) ReleaseSlabMemory(freed);
   }
 }
 
-void VersionArena::RecycleOrFreeLocked(Slab* slab) {
+arena_internal::Slab* VersionArena::RecycleOrDetachLocked(Slab* slab) {
   if (!slab->oversize && freelist_.size() < kMaxFreeSlabs) {
     // The slab parks in its retired state (sealed, live == 0, payload
     // still poisoned) — deliberately NOT reset here. TakeSlab resets it at
@@ -241,16 +257,19 @@ void VersionArena::RecycleOrFreeLocked(Slab* slab) {
     // (the PredicatePool recycling pattern at slab granularity).
     freelist_.push_back(slab);
     slabs_recycled_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return nullptr;
   }
-  FreeSlabLocked(slab);
-}
-
-void VersionArena::FreeSlabLocked(Slab* slab) {
+  // Unlink and account under the lock; the caller owns the actual release.
+  // Once detached the slab is unreachable (retirement is exactly-once and
+  // it is off all_/freelist_/deferred_), so freeing it lock-free is safe.
   all_.erase(std::remove(all_.begin(), all_.end(), slab), all_.end());
   const uint64_t total = kSlabHeaderBytes + static_cast<uint64_t>(slab->capacity);
   held_bytes_.fetch_sub(total, std::memory_order_relaxed);
   slabs_freed_.fetch_add(1, std::memory_order_relaxed);
+  return slab;
+}
+
+void VersionArena::ReleaseSlabMemory(Slab* slab) {
   UnpoisonRange(slab->payload(), slab->capacity);
   slab->~Slab();
   ::operator delete(slab, std::align_val_t(kSlabBytes));
@@ -263,8 +282,12 @@ size_t VersionArena::DrainDeferred() {
     parked.swap(deferred_);
   }
   for (Slab* slab : parked) {
-    SpinLockGuard g(slabs_lock_);
-    RecycleOrFreeLocked(slab);
+    Slab* detached = nullptr;
+    {
+      SpinLockGuard g(slabs_lock_);
+      detached = RecycleOrDetachLocked(slab);
+    }
+    if (detached != nullptr) ReleaseSlabMemory(detached);
   }
   return parked.size();
 }

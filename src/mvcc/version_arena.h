@@ -269,14 +269,23 @@ class VersionArena {
 
   void SealSlab(arena_internal::Slab* slab);
   static void RetireSlab(arena_internal::Slab* slab);
-  void RecycleOrFreeLocked(arena_internal::Slab* slab)
-      MV3C_REQUIRES(slabs_lock_);
-  void FreeSlabLocked(arena_internal::Slab* slab) MV3C_REQUIRES(slabs_lock_);
+  /// Parks the slab on the freelist (returns nullptr) or unlinks it from
+  /// the owned set and returns it for the caller to release *after* the
+  /// lock is dropped — operator delete can take a libc lock or a syscall
+  /// and must never run inside the spinlock's critical section (the
+  /// lock_scope_io rule, DESIGN §5j).
+  [[nodiscard]] arena_internal::Slab* RecycleOrDetachLocked(
+      arena_internal::Slab* slab) MV3C_REQUIRES(slabs_lock_);
+  static void ReleaseSlabMemory(arena_internal::Slab* slab);
   arena_internal::Slab* TakeSlab() MV3C_EXCLUDES(slabs_lock_);
   arena_internal::Slab* NewSlab(size_t total_bytes, bool oversize)
       MV3C_EXCLUDES(slabs_lock_);
 
   ThreadSlot slots_[kThreadSlots];
+  /// Set once by the owning TransactionManager during single-threaded setup
+  /// (set_metrics), read-only afterwards; a GUARDED_BY would force a lock
+  /// acquisition onto every allocation-path phase timer.
+  // mv3c-lint: allow(guarded_by_coverage)
   obs::MetricsRegistry* metrics_ = nullptr;
 
   mutable SpinLock slabs_lock_;

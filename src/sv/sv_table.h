@@ -169,10 +169,13 @@ class SvTable {
     return &arena_.back();
   }
 
-  std::string name_;
+  const std::string name_;
   CuckooMap<K, Rec*> index_;
   mutable SpinLock arena_lock_;
   std::deque<Rec> arena_ MV3C_GUARDED_BY(arena_lock_);
+  /// Registration-phase metadata: set_wal_id runs while the catalog wires
+  /// tables to the log, before any worker starts; read-only afterwards.
+  // mv3c-lint: allow(guarded_by_coverage)
   uint32_t wal_id_ = 0;
 };
 

@@ -80,7 +80,7 @@ class LogBuffer {
   SpinLock lock_;
   std::vector<uint8_t> bytes_ MV3C_GUARDED_BY(lock_);
   uint32_t n_records_ MV3C_GUARDED_BY(lock_) = 0;
-  const std::atomic<uint64_t>* current_epoch_;
+  const std::atomic<uint64_t>* const current_epoch_;
 };
 
 }  // namespace mv3c::wal

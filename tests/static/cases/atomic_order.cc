@@ -1,0 +1,25 @@
+// Analyzer-rule case (atomic_memory_order): atomic operations relying on
+// the defaulted seq_cst order — the exact shape the rule's first real
+// catch had in src/driver/thread_driver.h:107-112. Compiles fine; the
+// self-test plants it at src/shadow_flag.cc and expects hits on the
+// defaulted load, the defaulted store, and the implicit-conversion read.
+#include <atomic>
+#include <cstdint>
+
+namespace mv3c {
+
+inline std::atomic<uint64_t> g_shadow_state{0};
+
+uint64_t SnapshotDefaulted() {
+  return g_shadow_state.load();  // rule hit: defaulted seq_cst load
+}
+
+void PublishDefaulted(uint64_t v) {
+  g_shadow_state.store(v);  // rule hit: defaulted seq_cst store
+}
+
+uint64_t ImplicitRead() {
+  return g_shadow_state;  // rule hit: conversion operator = seq_cst load
+}
+
+}  // namespace mv3c

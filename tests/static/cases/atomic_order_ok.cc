@@ -1,0 +1,29 @@
+// Analyzer-rule control (atomic_memory_order): the same operations with
+// their orders named, including the single-argument compare_exchange
+// overload (which defaults nothing — both orders derive from the one
+// argument). Must produce zero findings.
+#include <atomic>
+#include <cstdint>
+
+namespace mv3c {
+
+inline std::atomic<uint64_t> g_shadow_state{0};
+
+uint64_t SnapshotExplicit() {
+  return g_shadow_state.load(std::memory_order_acquire);
+}
+
+void PublishExplicit(uint64_t v) {
+  g_shadow_state.store(v, std::memory_order_release);
+}
+
+uint64_t BumpExplicit() {
+  return g_shadow_state.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CasExplicit(uint64_t expect) {
+  return g_shadow_state.compare_exchange_strong(expect, expect + 1,
+                                                std::memory_order_acq_rel);
+}
+
+}  // namespace mv3c

@@ -21,7 +21,9 @@ std::atomic<uint64_t> global_txn_counter{0};  // rule hit: global variant
 
 uint64_t Touch() {
   ShadowManager m;
-  return m.NextCommitTs() + global_txn_counter.load();
+  // Explicit order: this case targets the ts-counter rule only and must
+  // not also trip atomic_memory_order when planted as a clean control.
+  return m.NextCommitTs() + global_txn_counter.load(std::memory_order_relaxed);
 }
 
 }  // namespace mv3c

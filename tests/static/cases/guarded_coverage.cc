@@ -1,0 +1,25 @@
+// Analyzer-rule case (guarded_by_coverage): a class that owns a SpinLock
+// but leaves a mutable member with no GUARDED_BY, no atomic, no const —
+// the "unannotated = unchecked" hole PR 4's thread-safety gate cannot see
+// on its own. Compiles fine; the self-test plants it at
+// src/shadow_queue.cc and expects one hit on `depth_`.
+#include <cstdint>
+
+#include "common/spinlock.h"
+#include "common/thread_safety.h"
+
+namespace mv3c {
+
+class ShadowQueue {
+ public:
+  void Push() {
+    SpinLockGuard g(lock_);
+    ++depth_;
+  }
+
+ private:
+  SpinLock lock_;
+  uint64_t depth_ = 0;  // rule hit: mutable member with no annotation
+};
+
+}  // namespace mv3c

@@ -1,0 +1,20 @@
+// Analyzer-rule case (lock_scope_io): blocking I/O and allocator calls
+// inside a SpinLock critical section — the TruncateSegmentsBefore bug
+// class PR 8 fixed (an unlink+dir-fsync under segments_mu_). Compiles
+// fine; the self-test plants it at src/wal/locked_io.cc (inside the
+// raw-I/O rule's exemption, isolating this rule) and expects two hits:
+// one lexically inside a SpinLockGuard scope, one inside a
+// REQUIRES-annotated function.
+#include <unistd.h>
+
+#include "common/spinlock.h"
+#include "common/thread_safety.h"
+
+int FsyncUnderGuard(mv3c::SpinLock& l, int fd) {
+  mv3c::SpinLockGuard g(l);
+  return fsync(fd);  // rule hit: blocking syscall under a spinlock
+}
+
+void FreeUnderRequires(mv3c::SpinLock& l, int* p) MV3C_REQUIRES(l) {
+  delete p;  // rule hit: heap free while the caller holds the lock
+}

@@ -1,0 +1,22 @@
+// Analyzer-rule control (lock_scope_io): the same calls as
+// lock_scope_io.cc, but the guard scope closes before the I/O runs — the
+// detach-then-free shape VersionArena uses. Planted at src/wal/ so the
+// raw-I/O rule's exemption keeps this TU single-rule. Must produce zero
+// findings.
+#include <unistd.h>
+
+#include "common/spinlock.h"
+
+int FlushAfterUnlock(mv3c::SpinLock& l, int fd) {
+  {
+    mv3c::SpinLockGuard g(l);
+  }
+  return fsync(fd);  // clean: the critical section already closed
+}
+
+void FreeOutsideLock(mv3c::SpinLock& l, int* p) {
+  {
+    mv3c::SpinLockGuard g(l);
+  }
+  delete p;  // clean: detached under the lock, released outside it
+}

@@ -1,0 +1,21 @@
+// Suppression-mechanism control: a real violation excused by a
+// `mv3c-lint: allow(...)` comment, in both spellings — whole-line (applies
+// to the next line) and trailing (applies to its own line). The analyzer
+// must report zero findings and zero unused suppressions for this TU.
+#include <atomic>
+#include <cstdint>
+
+namespace mv3c {
+
+inline std::atomic<uint64_t> g_probe{0};
+
+uint64_t OneShotSnapshot() {
+  // mv3c-lint: allow(atomic_memory_order) one-shot CLI probe; seq_cst is fine
+  return g_probe.load();
+}
+
+void OneShotPublish(uint64_t v) {
+  g_probe.store(v);  // mv3c-lint: allow(atomic_memory_order) setup-phase write
+}
+
+}  // namespace mv3c

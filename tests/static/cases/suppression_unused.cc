@@ -1,0 +1,16 @@
+// Suppression-mechanism case: a suppression whose violation is gone — the
+// analyzer must fail (exit 1) and report it as unused, so stale escapes
+// cannot linger after the code they excused is fixed.
+#include <atomic>
+#include <cstdint>
+
+namespace mv3c {
+
+inline std::atomic<uint64_t> g_probe{0};
+
+uint64_t FixedSnapshot() {
+  // mv3c-lint: allow(atomic_memory_order) stale: the load below names its order
+  return g_probe.load(std::memory_order_acquire);
+}
+
+}  // namespace mv3c

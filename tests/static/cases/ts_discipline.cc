@@ -1,0 +1,20 @@
+// Analyzer-rule case (timestamp_discipline): raw bit arithmetic on a
+// composed mv3c::Timestamp, and a composed-TID-vs-epoch comparison —
+// both must go through the timestamp.h helpers (DESIGN §5h). Compiles
+// fine; the self-test plants it at src/mvcc/shadow_epoch.cc and expects
+// two hits.
+#include <cstdint>
+
+#include "mvcc/timestamp.h"
+
+namespace mv3c {
+
+uint64_t ShadowEpochOf(Timestamp ts) {
+  return ts >> 30;  // rule hit: raw shift; use TsEpoch()
+}
+
+bool CommittedInEpoch(Timestamp commit_ts, uint64_t wal_epoch) {
+  return commit_ts == wal_epoch;  // rule hit: composed TID vs epoch value
+}
+
+}  // namespace mv3c

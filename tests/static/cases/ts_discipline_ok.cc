@@ -1,0 +1,27 @@
+// Analyzer-rule control (timestamp_discipline): the sanctioned spellings
+// for everything ts_discipline.cc does wrong — helper projections for the
+// epoch field, plain integer order between two timestamps (the ordering
+// contract compares composed values directly). Must produce zero findings.
+#include <cstdint>
+
+#include "mvcc/timestamp.h"
+
+namespace mv3c {
+
+uint64_t GoodEpochOf(Timestamp ts) {
+  return TsEpoch(ts);  // clean: the helper owns the layout
+}
+
+bool GoodCommittedInEpoch(Timestamp commit_ts, uint64_t wal_epoch) {
+  return TsEpoch(commit_ts) == wal_epoch;  // clean: projected first
+}
+
+bool Visible(Timestamp ts, Timestamp start) {
+  return ts < start;  // clean: plain integer order is the contract
+}
+
+Timestamp Watermark(Timestamp a, Timestamp b) {
+  return a < b ? a : b;  // clean: min over composed values is fine
+}
+
+}  // namespace mv3c
