@@ -32,6 +32,53 @@ for b in "$BUILD_DIR"/bench/*; do
   rm -f "$TMP.run"
 done
 
+# Serving scenario (DESIGN §5k): start mv3c_serve on an ephemeral port and
+# drive bench/loadgen open-loop against it; the loadgen's RUNJSON (keyed
+# serve_<workload>, carrying arrival_rate / shed_fraction / p99) joins the
+# baseline alongside the in-process benches. Skipped silently when either
+# binary is absent (e.g. a WAL-off tree that never built the server).
+SERVE_BIN="$BUILD_DIR/src/server/mv3c_serve"
+LOADGEN_BIN="$BUILD_DIR/bench/loadgen"
+if [ -x "$SERVE_BIN" ] && [ -x "$LOADGEN_BIN" ]; then
+  if [ -n "${MV3C_BENCH_FULL:-}" ]; then
+    serve_rate=20000; serve_secs=10; serve_scale=100000
+  else
+    serve_rate=4000; serve_secs=3; serve_scale=20000
+  fi
+  for wl in banking tpcc; do
+    scale="$serve_scale"
+    [ "$wl" = tpcc ] && scale=1
+    echo "===== serve_$wl (loadgen @$serve_rate/s) =====" >&2
+    "$SERVE_BIN" --workload="$wl" --workers=4 --scale="$scale" \
+      > "$TMP.serve" 2>/dev/null &
+    serve_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/^LISTENING port=//p' "$TMP.serve")"
+      [ -n "$port" ] && break
+      sleep 0.2
+    done
+    if [ -z "$port" ]; then
+      echo "FAILED: serve_$wl (server never listened)" >&2
+      kill "$serve_pid" 2>/dev/null; wait "$serve_pid" 2>/dev/null
+      fail=1
+      continue
+    fi
+    if "$LOADGEN_BIN" --port="$port" --workload="$wl" --scale="$scale" \
+         --rate="$serve_rate" --seconds="$serve_secs" --warmup-seconds=1 \
+         --connections=4 > "$TMP.run" 2>&1; then
+      grep '^RUNJSON ' "$TMP.run" | sed 's/^RUNJSON //' >> "$TMP"
+    else
+      echo "FAILED: serve_$wl (loadgen exit $?)" >&2
+      tail -5 "$TMP.run" >&2
+      fail=1
+    fi
+    kill "$serve_pid" 2>/dev/null
+    wait "$serve_pid" 2>/dev/null
+    rm -f "$TMP.run" "$TMP.serve"
+  done
+fi
+
 n="$(wc -l < "$TMP")"
 {
   printf '{\n'

@@ -40,7 +40,11 @@ def load(path):
         doc = json.load(f)
     runs = {}
     for r in doc.get("runs", []):
-        runs[(r["bench"], r["engine"], r.get("window", 0))] = r
+        # Serving runs (bench/loadgen.cc) are parameterized by the offered
+        # arrival rate, not the bench window — it joins the key so a 4k/s
+        # run never diffs against a 20k/s one.
+        runs[(r["bench"], r["engine"], r.get("window", 0),
+              r.get("arrival_rate", 0))] = r
     return doc, runs
 
 base_doc, base = load(sys.argv[1])
@@ -53,22 +57,32 @@ if base_doc.get("scale") != fresh_doc.get("scale"):
     print("WARNING: scale mismatch, deltas are not comparable")
 print()
 
-hdr = f"{'bench':32} {'engine':22} {'win':>4} {'base tps':>12} {'new tps':>12} {'delta':>8}"
+hdr = (f"{'bench':32} {'engine':22} {'win':>4} {'rate':>7} "
+       f"{'base tps':>12} {'new tps':>12} {'delta':>8} {'shed':>12}")
 print(hdr)
 print("-" * len(hdr))
 per_bench = defaultdict(list)
 for key in sorted(base.keys() | fresh.keys()):
     b, f = base.get(key), fresh.get(key)
-    bench, engine, window = key
+    bench, engine, window, rate = key
+    rate_s = f"{rate:.0f}" if rate else "-"
     if b is None or f is None:
         side = "baseline" if f is None else "fresh"
-        print(f"{bench:32} {engine:22} {window:>4} "
+        print(f"{bench:32} {engine:22} {window:>4} {rate_s:>7} "
               f"{'(only in ' + side + ')':>34}")
         continue
     delta = (f["tps"] - b["tps"]) / b["tps"] * 100 if b["tps"] else 0.0
     per_bench[bench].append(delta)
-    print(f"{bench:32} {engine:22} {window:>4} "
-          f"{b['tps']:12.1f} {f['tps']:12.1f} {delta:+7.1f}%")
+    # Serving runs carry a shed fraction; show base->fresh so an admission
+    # regression (more load shed at the same offered rate) is visible next
+    # to the throughput delta it explains.
+    if "shed_fraction" in b or "shed_fraction" in f:
+        shed = (f"{b.get('shed_fraction', 0) * 100:4.1f}->"
+                f"{f.get('shed_fraction', 0) * 100:4.1f}%")
+    else:
+        shed = ""
+    print(f"{bench:32} {engine:22} {window:>4} {rate_s:>7} "
+          f"{b['tps']:12.1f} {f['tps']:12.1f} {delta:+7.1f}% {shed:>12}")
 
 print()
 print("per-bench mean delta:")

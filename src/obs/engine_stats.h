@@ -15,6 +15,7 @@
 // counters here (with a registration entry) or not at all.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "obs/metrics.h"
@@ -107,6 +108,31 @@ struct SvStats {
   }
 };
 
+/// Statistics of the serving front-end (DESIGN §5k). Unlike the engine
+/// stats these are atomics: the I/O thread and every worker increment them
+/// while /metrics scrapes concurrently, so a snapshot must be a relaxed
+/// load, not a racy read of a plain field. Increments stay one uncontended
+/// atomic add — negligible next to a syscall-bearing request path.
+struct ServerStats {
+  std::atomic<uint64_t> connections_opened{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> protocol_errors{0};   // framing violations (CRC, magic…)
+  std::atomic<uint64_t> requests_received{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> txn_committed{0};
+  std::atomic<uint64_t> txn_user_aborted{0};
+  std::atomic<uint64_t> txn_exhausted{0};     // engine gave up under contention
+  std::atomic<uint64_t> shed_overload{0};     // admission queue full
+  std::atomic<uint64_t> shed_rate_limited{0}; // per-client token bucket empty
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> pings{0};
+};
+
+/// One relaxed increment — the only write ServerStats fields ever see.
+inline void Bump(std::atomic<uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace obs {
 
 /// Publishes every Mv3cStats field on `reg` under its native name. `s`
@@ -149,6 +175,21 @@ inline void RegisterCounters(MetricsRegistry* reg, const SvStats* s) {
   reg->RegisterCounter("backoff_us", &s->backoff_us);
   reg->RegisterCounter("failpoint_trips", &s->failpoint_trips);
   reg->RegisterCounter("max_rounds", &s->max_rounds, MergeKind::kMax);
+}
+
+inline void RegisterCounters(MetricsRegistry* reg, const ServerStats* s) {
+  reg->RegisterAtomicCounter("connections_opened", &s->connections_opened);
+  reg->RegisterAtomicCounter("connections_closed", &s->connections_closed);
+  reg->RegisterAtomicCounter("protocol_errors", &s->protocol_errors);
+  reg->RegisterAtomicCounter("requests_received", &s->requests_received);
+  reg->RegisterAtomicCounter("responses_sent", &s->responses_sent);
+  reg->RegisterAtomicCounter("txn_committed", &s->txn_committed);
+  reg->RegisterAtomicCounter("txn_user_aborted", &s->txn_user_aborted);
+  reg->RegisterAtomicCounter("txn_exhausted", &s->txn_exhausted);
+  reg->RegisterAtomicCounter("shed_overload", &s->shed_overload);
+  reg->RegisterAtomicCounter("shed_rate_limited", &s->shed_rate_limited);
+  reg->RegisterAtomicCounter("bad_requests", &s->bad_requests);
+  reg->RegisterAtomicCounter("pings", &s->pings);
 }
 
 }  // namespace obs

@@ -27,6 +27,7 @@
 // measurement).
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -351,7 +352,18 @@ class MetricsRegistry {
   /// last Snapshot(); `name` must be a literal (not copied).
   void RegisterCounter(const char* name, const uint64_t* field,
                        MergeKind kind = MergeKind::kSum) {
-    counters_.push_back({name, field, kind});
+    counters_.push_back({name, field, nullptr, kind});
+  }
+
+  /// Registers an atomic counter view. Engine counters are plain uint64_t
+  /// because each is owned by one thread and snapshotted after a quiesce;
+  /// components whose counters are written concurrently with Snapshot()
+  /// (the serving front-end, scraped live by /metrics) register atomics so
+  /// a scrape is a relaxed load, not a data race.
+  void RegisterAtomicCounter(const char* name,
+                             const std::atomic<uint64_t>* field,
+                             MergeKind kind = MergeKind::kSum) {
+    counters_.push_back({name, nullptr, field, kind});
   }
 
 #if defined(MV3C_OBS_ENABLED)
@@ -371,7 +383,10 @@ class MetricsRegistry {
     MetricsSnapshot s;
     s.counters.reserve(counters_.size());
     for (const CounterRef& c : counters_) {
-      s.counters.push_back({c.name, *c.field, c.kind});
+      const uint64_t v = c.field != nullptr
+                             ? *c.field
+                             : c.atomic_field->load(std::memory_order_relaxed);
+      s.counters.push_back({c.name, v, c.kind});
     }
 #if defined(MV3C_OBS_ENABLED)
     SpinLockGuard g(lock_);
@@ -383,7 +398,8 @@ class MetricsRegistry {
  private:
   struct CounterRef {
     const char* name;
-    const uint64_t* field;
+    const uint64_t* field;                      // exactly one of these two
+    const std::atomic<uint64_t>* atomic_field;  // is non-null
     MergeKind kind;
   };
 

@@ -1,0 +1,184 @@
+#include "obs/prom_export.h"
+
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace mv3c::obs {
+namespace {
+
+bool ValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!alpha && (i == 0 || c < '0' || c > '9')) return false;
+  }
+  return true;
+}
+
+void AppendEscapedLabelValue(std::string* out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+// HELP text escapes backslash and newline (not quotes — HELP is unquoted).
+void AppendEscapedHelp(std::string* out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  // %.17g round-trips any double; trim the noise for integral values,
+  // which is what counters and bucket counts always are.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!alpha && (i == 0 || c < '0' || c > '9')) return false;
+  }
+  return true;
+}
+
+void PromTextWriter::Header(std::string_view name, std::string_view help,
+                            std::string_view type) {
+  MV3C_CHECK(ValidMetricName(name));
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  AppendEscapedHelp(&out_, help);
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PromTextWriter::Sample(std::string_view name, std::string_view suffix,
+                            const std::vector<PromLabel>& labels,
+                            std::string_view extra_ln,
+                            std::string_view extra_lv, double value) {
+  out_ += name;
+  out_ += suffix;
+  if (!labels.empty() || !extra_ln.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const PromLabel& l : labels) {
+      MV3C_CHECK(ValidLabelName(l.name));
+      if (!first) out_ += ',';
+      first = false;
+      out_ += l.name;
+      out_ += "=\"";
+      AppendEscapedLabelValue(&out_, l.value);
+      out_ += '"';
+    }
+    if (!extra_ln.empty()) {
+      if (!first) out_ += ',';
+      out_ += extra_ln;
+      out_ += "=\"";
+      out_ += extra_lv;  // always a number or +Inf; nothing to escape
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+  AppendDouble(&out_, value);
+  out_ += '\n';
+}
+
+void PromTextWriter::Counter(std::string_view name, std::string_view help,
+                             uint64_t value,
+                             const std::vector<PromLabel>& labels) {
+  // The family is named with the _total suffix: OpenMetrics scrapers
+  // expect `# TYPE x_total counter` to match the sample name exactly.
+  std::string total(name);
+  total += "_total";
+  Header(total, help, "counter");
+  Sample(total, "", labels, "", "", static_cast<double>(value));
+}
+
+void PromTextWriter::Gauge(std::string_view name, std::string_view help,
+                           double value,
+                           const std::vector<PromLabel>& labels) {
+  Header(name, help, "gauge");
+  Sample(name, "", labels, "", "", value);
+}
+
+void PromTextWriter::Histogram(std::string_view name, std::string_view help,
+                               const HistogramSnapshot& h,
+                               const std::vector<PromLabel>& labels) {
+  Header(name, help, "histogram");
+  // Highest non-empty bucket; everything above collapses into +Inf.
+  int top = -1;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (h.buckets[i] != 0) top = i;
+  }
+  const double ticks_per_s = h.ticks_per_ns * 1e9;
+  uint64_t cum = 0;
+  for (int i = 0; i <= top; ++i) {
+    cum += h.buckets[i];
+    // Upper edge of bucket i is 2^(i+1)-1 ticks (§5d log bucketing).
+    const double edge_ticks =
+        i >= 63 ? static_cast<double>(~0ULL)
+                : static_cast<double>((uint64_t{1} << (i + 1)) - 1);
+    char le[32];
+    std::snprintf(le, sizeof(le), "%.9g", edge_ticks / ticks_per_s);
+    Sample(name, "_bucket", labels, "le", le, static_cast<double>(cum));
+  }
+  Sample(name, "_bucket", labels, "le", "+Inf", static_cast<double>(h.count));
+  Sample(name, "_sum", labels, "", "",
+         static_cast<double>(h.sum_ticks) / ticks_per_s);
+  Sample(name, "_count", labels, "", "", static_cast<double>(h.count));
+}
+
+void WriteSnapshot(PromTextWriter* w, const MetricsSnapshot& snap,
+                   std::string_view prefix,
+                   const std::vector<PromLabel>& labels) {
+  for (const MetricsSnapshot::Counter& c : snap.counters) {
+    std::string name(prefix);
+    name += '_';
+    name += c.name;
+    if (c.kind == MergeKind::kMax) {
+      w->Gauge(name, "high-water mark (merged with max)",
+               static_cast<double>(c.value), labels);
+    } else {
+      w->Counter(name, "cumulative event count", c.value, labels);
+    }
+  }
+  for (int i = 0; i < kNumPhases; ++i) {
+    const HistogramSnapshot& h = snap.phases[i];
+    if (h.count == 0) continue;
+    std::string name(prefix);
+    name += "_phase_";
+    name += PhaseName(static_cast<Phase>(i));
+    name += "_seconds";
+    w->Histogram(name, "sampled per-phase latency histogram", h, labels);
+  }
+}
+
+}  // namespace mv3c::obs

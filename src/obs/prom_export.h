@@ -1,0 +1,86 @@
+#ifndef MV3C_OBS_PROM_EXPORT_H_
+#define MV3C_OBS_PROM_EXPORT_H_
+
+// Prometheus text-exposition writer (DESIGN §5k): renders counters, gauges
+// and the §5d log-bucketed phase histograms in the text format version
+// 0.0.4 that every Prometheus-compatible scraper understands. This is a
+// standalone formatting layer — no sockets, no registry coupling — shared
+// by the serving front-end's /metrics endpoint and by tools/metrics_dump
+// --format=prom, and unit-tested against the exposition grammar
+// (tests/prom_export_test.cc) so both consumers inherit a checked
+// implementation.
+//
+// Format contract implemented here:
+//   * one `# HELP` and one `# TYPE` line precede a family's samples;
+//   * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+//     [a-zA-Z_][a-zA-Z0-9_]*; callers pass literal names and the writer
+//     CHECKs them in debug builds;
+//   * label values escape backslash, double-quote and newline;
+//   * histograms emit cumulative `_bucket{le="..."}` samples in increasing
+//     le order ending with le="+Inf" (== `_count`), plus `_sum`;
+//   * samples of one family are contiguous (Prometheus rejects interleaved
+//     families).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mv3c::obs {
+
+struct PromLabel {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// Streaming writer: call the family emitters in any order, read str()
+/// once at the end. Family names must be unique per writer (a duplicate
+/// `# TYPE` is a scrape error); the writer does not deduplicate.
+class PromTextWriter {
+ public:
+  /// Monotonic counter. By Prometheus convention the sample name gets a
+  /// `_total` suffix appended here — pass the bare family name.
+  void Counter(std::string_view name, std::string_view help, uint64_t value,
+               const std::vector<PromLabel>& labels = {});
+
+  /// Point-in-time gauge (queue depth, token count, uptime).
+  void Gauge(std::string_view name, std::string_view help, double value,
+             const std::vector<PromLabel>& labels = {});
+
+  /// Renders one §5d HistogramSnapshot as a Prometheus histogram in
+  /// seconds. Buckets hold TSC ticks in power-of-two ranges; each upper
+  /// edge converts through the snapshot's calibrated ticks_per_ns.
+  /// Trailing empty buckets collapse into le="+Inf" so an idle phase does
+  /// not emit 64 zero lines.
+  void Histogram(std::string_view name, std::string_view help,
+                 const HistogramSnapshot& h,
+                 const std::vector<PromLabel>& labels = {});
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Header(std::string_view name, std::string_view help,
+              std::string_view type);
+  void Sample(std::string_view name, std::string_view suffix,
+              const std::vector<PromLabel>& labels, std::string_view extra_ln,
+              std::string_view extra_lv, double value);
+
+  std::string out_;
+};
+
+/// Renders a merged MetricsSnapshot: every counter becomes
+/// `<prefix>_<name>[_total]` and every non-empty phase histogram becomes
+/// `<prefix>_phase_<phase>_seconds`. MergeKind::kMax counters export as
+/// gauges (a high-water mark is not monotonic across restarts).
+void WriteSnapshot(PromTextWriter* w, const MetricsSnapshot& snap,
+                   std::string_view prefix,
+                   const std::vector<PromLabel>& labels = {});
+
+/// True iff `name` is a valid Prometheus metric name.
+bool ValidMetricName(std::string_view name);
+
+}  // namespace mv3c::obs
+
+#endif  // MV3C_OBS_PROM_EXPORT_H_

@@ -2,6 +2,7 @@
 #define MV3C_WORKLOADS_BANKING_H_
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/macros.h"
@@ -115,7 +116,11 @@ struct TransferParams {
   int64_t to = 0;
   int64_t amount = 0;
   bool with_fee = true;
+  uint8_t pad_[7] = {};  // explicit tail padding: wire/no-padding contract
 };
+// TransferParams travels verbatim inside serving-protocol frames
+// (src/server/protocol.h), so it follows the §5f no-padding discipline.
+static_assert(std::has_unique_object_representations_v<TransferParams>);
 
 inline int64_t FeeOf(const TransferParams& p) {
   if (!p.with_fee) return 0;

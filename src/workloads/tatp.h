@@ -2,6 +2,7 @@
 #define MV3C_WORKLOADS_TATP_H_
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/nurand.h"
@@ -206,7 +207,7 @@ class TatpDb {
 
 // --- transaction parameters & generator ---
 
-enum class TxnType {
+enum class TxnType : uint8_t {
   kGetSubscriberData,
   kGetNewDestination,
   kGetAccessData,
@@ -216,18 +217,24 @@ enum class TxnType {
   kDeleteCallForwarding,
 };
 
+/// Field order is wire layout: TatpParams travels verbatim inside
+/// serving-protocol frames (src/server/protocol.h), so wide fields lead
+/// and the byte-sized tail is padded explicitly (§5f discipline).
 struct TatpParams {
-  TxnType type = TxnType::kGetSubscriberData;
   uint64_t s_id = 0;
+  uint64_t numberx = 0;
+  uint32_t bit = 0;
+  uint32_t location = 0;
+  uint16_t data_a = 0;
+  TxnType type = TxnType::kGetSubscriberData;
   uint8_t ai_type = 1;
   uint8_t sf_type = 1;
   uint8_t start_time = 0;
   uint8_t end_time = 8;
-  uint16_t data_a = 0;
-  uint32_t bit = 0;
-  uint32_t location = 0;
-  uint64_t numberx = 0;
+  uint8_t pad_ = 0;
 };
+static_assert(sizeof(TatpParams) == 32);
+static_assert(std::has_unique_object_representations_v<TatpParams>);
 
 /// TATP mix and non-uniform key generator (A constant per population).
 class TatpGenerator {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/nurand.h"
@@ -354,7 +355,7 @@ class TpccDb {
 // Transaction inputs and generator
 // ---------------------------------------------------------------------------
 
-enum class TpccTxnType {
+enum class TpccTxnType : uint8_t {
   kNewOrder,
   kPayment,
   kOrderStatus,
@@ -366,24 +367,31 @@ struct NewOrderItem {
   uint64_t i_id = 0;
   uint64_t supply_w = 0;
   uint8_t quantity = 1;
+  uint8_t pad_[7] = {};  // explicit tail padding: wire/no-padding contract
 };
+static_assert(std::has_unique_object_representations_v<NewOrderItem>);
 
+/// Field order is wire layout: TpccParams travels verbatim inside
+/// serving-protocol frames (src/server/protocol.h), so wide fields lead
+/// and the byte-sized tail is padded explicitly (§5f discipline).
 struct TpccParams {
-  TpccTxnType type = TpccTxnType::kNewOrder;
   uint64_t w_id = 0;
   uint64_t d_id = 0;
   uint64_t c_id = 0;
-  uint16_t c_last = 0;
-  bool by_last_name = false;
   int64_t amount = 0;          // Payment
   uint64_t c_w_id = 0;         // Payment: customer's warehouse
   uint64_t c_d_id = 0;
+  uint64_t date = 0;
   int32_t carrier_id = 0;      // Delivery
   int32_t threshold = 10;      // Stock-Level
-  uint64_t date = 0;
+  uint16_t c_last = 0;
+  TpccTxnType type = TpccTxnType::kNewOrder;
+  bool by_last_name = false;
   uint8_t ol_cnt = 0;          // New-Order
+  uint8_t pad_[3] = {};
   NewOrderItem items[kMaxOrderLines];
 };
+static_assert(std::has_unique_object_representations_v<TpccParams>);
 
 /// Standard-mix generator with the spec's NURand constants (clause 2.1.6)
 /// and the 1% invalid-item rule.

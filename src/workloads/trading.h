@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/cipher.h"
@@ -164,11 +165,17 @@ struct TradeOrderParams {
   uint64_t customer_id = 0;
   Blob payload{};
 };
+// Both params travel verbatim inside serving-protocol frames
+// (src/server/protocol.h), so they follow the §5f no-padding discipline.
+static_assert(sizeof(TradeOrderParams) == 8 + kPayloadBytes);
+static_assert(std::has_unique_object_representations_v<TradeOrderParams>);
 
 struct PriceUpdateParams {
   uint64_t security_id = 0;
   int64_t new_price = 0;
 };
+static_assert(sizeof(PriceUpdateParams) == 16);
+static_assert(std::has_unique_object_representations_v<PriceUpdateParams>);
 
 // --- MV3C programs ---
 
@@ -309,8 +316,16 @@ class TradingGenerator {
   /// PriceUpdates.
   TradingGenerator(const TradingDb& db, double alpha, int trade_order_percent,
                    uint64_t seed)
-      : zipf_(db.n_securities(), alpha),
-        n_customers_(db.n_customers()),
+      : TradingGenerator(db.n_securities(), db.n_customers(), alpha,
+                         trade_order_percent, seed) {}
+
+  /// Db-free overload for remote clients (bench/loadgen.cc) that generate
+  /// requests against a server-hosted database they cannot see; only the
+  /// population sizes matter.
+  TradingGenerator(uint64_t n_securities, uint64_t n_customers, double alpha,
+                   int trade_order_percent, uint64_t seed)
+      : zipf_(n_securities, alpha),
+        n_customers_(n_customers),
         trade_order_percent_(trade_order_percent),
         rng_(seed) {}
 

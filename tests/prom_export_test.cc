@@ -1,0 +1,329 @@
+// Prometheus text-exposition grammar tests for src/obs/prom_export
+// (DESIGN §5k). A small validator parses the writer's output against the
+// 0.0.4 format contract — name charsets, HELP/TYPE pairing, family
+// contiguity, label escaping, cumulative histogram buckets ending at
+// le="+Inf" — so the /metrics endpoint and tools/metrics_dump share a
+// checked implementation instead of two ad-hoc printf formats.
+
+#include "obs/prom_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace mv3c::obs {
+namespace {
+
+bool ValidLabelNameForTest(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;  // unescaped values
+  double value = 0;
+};
+
+/// Minimal exposition-format parser. Returns false (with `why`) on any
+/// grammar violation; fills families (name -> type) and samples.
+bool ParseExposition(const std::string& text,
+                     std::map<std::string, std::string>* families,
+                     std::vector<Sample>* samples, std::string* why) {
+  std::istringstream in(text);
+  std::string line;
+  std::string open_family;  // samples must be contiguous per family
+  std::map<std::string, bool> family_closed;
+  int lineno = 0;
+  auto fail = [&](const std::string& m) {
+    *why = "line " + std::to_string(lineno) + ": " + m + " [" + line + "]";
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) return fail("empty line");
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, name;
+      ls >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") return fail("unknown comment");
+      if (!ValidMetricName(name)) return fail("bad family name " + name);
+      if (kind == "TYPE") {
+        std::string type;
+        ls >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram") {
+          return fail("bad type " + type);
+        }
+        if (families->count(name) != 0) return fail("duplicate TYPE " + name);
+        (*families)[name] = type;
+        if (!open_family.empty()) family_closed[open_family] = true;
+        if (family_closed[name]) return fail("family reopened: " + name);
+        open_family = name;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    Sample s;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = line.substr(0, i);
+    if (!ValidMetricName(s.name)) return fail("bad sample name " + s.name);
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t eq = line.find('=', i);
+        if (eq == std::string::npos) return fail("label missing '='");
+        const std::string lname = line.substr(i, eq - i);
+        if (!ValidLabelNameForTest(lname)) return fail("bad label " + lname);
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          return fail("label value not quoted");
+        }
+        std::string val;
+        size_t j = eq + 2;
+        for (; j < line.size() && line[j] != '"'; ++j) {
+          if (line[j] == '\\') {
+            if (j + 1 >= line.size()) return fail("dangling escape");
+            ++j;
+            if (line[j] == 'n') {
+              val += '\n';
+            } else if (line[j] == '\\' || line[j] == '"') {
+              val += line[j];
+            } else {
+              return fail("bad escape");
+            }
+          } else if (line[j] == '\n') {
+            return fail("raw newline in label value");
+          } else {
+            val += line[j];
+          }
+        }
+        if (j >= line.size()) return fail("unterminated label value");
+        s.labels[lname] = val;
+        i = j + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') return fail("unterminated {}");
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') return fail("missing value");
+    const std::string vstr = line.substr(i + 1);
+    if (vstr == "+Inf") {
+      s.value = HUGE_VAL;
+    } else {
+      char* end = nullptr;
+      s.value = std::strtod(vstr.c_str(), &end);
+      if (end == nullptr || *end != '\0') return fail("bad value " + vstr);
+    }
+    // The sample must belong to the currently open family (histogram
+    // samples use the family name + _bucket/_sum/_count suffixes).
+    const bool belongs =
+        s.name == open_family || s.name == open_family + "_bucket" ||
+        s.name == open_family + "_sum" || s.name == open_family + "_count";
+    if (!belongs) return fail("sample outside its family: " + s.name);
+    samples->push_back(std::move(s));
+  }
+  return true;
+}
+
+/// Validates every histogram family: cumulative buckets in increasing le
+/// order, last bucket le="+Inf" equal to _count, _sum present.
+bool CheckHistograms(const std::map<std::string, std::string>& families,
+                     const std::vector<Sample>& samples, std::string* why) {
+  for (const auto& [fam, type] : families) {
+    if (type != "histogram") continue;
+    double last_le = -HUGE_VAL, last_cum = -1, inf_count = -1;
+    double count = -1;
+    bool saw_sum = false, saw_inf = false;
+    for (const Sample& s : samples) {
+      if (s.name == fam + "_bucket") {
+        const auto it = s.labels.find("le");
+        if (it == s.labels.end()) {
+          *why = fam + ": bucket without le";
+          return false;
+        }
+        const double le =
+            it->second == "+Inf" ? HUGE_VAL : std::atof(it->second.c_str());
+        if (le <= last_le) {
+          *why = fam + ": le not increasing";
+          return false;
+        }
+        if (s.value < last_cum) {
+          *why = fam + ": buckets not cumulative";
+          return false;
+        }
+        last_le = le;
+        last_cum = s.value;
+        if (le == HUGE_VAL) {
+          saw_inf = true;
+          inf_count = s.value;
+        }
+      } else if (s.name == fam + "_sum") {
+        saw_sum = true;
+      } else if (s.name == fam + "_count") {
+        count = s.value;
+      }
+    }
+    if (!saw_inf || !saw_sum || count < 0) {
+      *why = fam + ": missing +Inf bucket, _sum, or _count";
+      return false;
+    }
+    if (inf_count != count) {
+      *why = fam + ": +Inf bucket != _count";
+      return false;
+    }
+  }
+  return true;
+}
+
+testing::AssertionResult WellFormed(const std::string& text) {
+  std::map<std::string, std::string> families;
+  std::vector<Sample> samples;
+  std::string why;
+  if (!ParseExposition(text, &families, &samples, &why)) {
+    return testing::AssertionFailure() << why;
+  }
+  if (!CheckHistograms(families, samples, &why)) {
+    return testing::AssertionFailure() << why;
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(ValidMetricNameTest, Charset) {
+  EXPECT_TRUE(ValidMetricName("mv3c_server_txn_committed_total"));
+  EXPECT_TRUE(ValidMetricName("a:b_c9"));
+  EXPECT_TRUE(ValidMetricName("_private"));
+  EXPECT_FALSE(ValidMetricName(""));
+  EXPECT_FALSE(ValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(ValidMetricName("has-dash"));
+  EXPECT_FALSE(ValidMetricName("has space"));
+  EXPECT_FALSE(ValidMetricName("unicode\xc3\xa9"));
+}
+
+TEST(PromTextWriterTest, CounterGetsTotalSuffixAndHeaders) {
+  PromTextWriter w;
+  w.Counter("reqs", "requests served", 42);
+  const std::string& out = w.str();
+  EXPECT_NE(out.find("# HELP reqs_total requests served\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE reqs_total counter\n"), std::string::npos);
+  EXPECT_NE(out.find("\nreqs_total 42\n"), std::string::npos);
+  EXPECT_TRUE(WellFormed(out));
+}
+
+TEST(PromTextWriterTest, GaugeKeepsBareName) {
+  PromTextWriter w;
+  w.Gauge("queue_depth", "waiting requests", 7.5);
+  EXPECT_NE(w.str().find("# TYPE queue_depth gauge\n"), std::string::npos);
+  EXPECT_EQ(w.str().find("_total"), std::string::npos);
+  EXPECT_TRUE(WellFormed(w.str()));
+}
+
+TEST(PromTextWriterTest, LabelValueEscaping) {
+  PromTextWriter w;
+  w.Counter("evil", "h", 1,
+            {{"path", "a\\b"}, {"quote", "say \"hi\""}, {"nl", "two\nlines"}});
+  std::map<std::string, std::string> families;
+  std::vector<Sample> samples;
+  std::string why;
+  ASSERT_TRUE(ParseExposition(w.str(), &families, &samples, &why)) << why;
+  ASSERT_EQ(samples.size(), 1u);
+  // Round-trip: the parser unescapes back to the original values.
+  EXPECT_EQ(samples[0].labels.at("path"), "a\\b");
+  EXPECT_EQ(samples[0].labels.at("quote"), "say \"hi\"");
+  EXPECT_EQ(samples[0].labels.at("nl"), "two\nlines");
+  // And no raw newline leaked into the sample line.
+  EXPECT_TRUE(WellFormed(w.str()));
+}
+
+TEST(PromTextWriterTest, HelpEscaping) {
+  PromTextWriter w;
+  w.Gauge("g", "line1\nline2 with \\ backslash", 1);
+  // The HELP text must stay on one line.
+  std::string out = w.str();
+  size_t help = out.find("# HELP g ");
+  ASSERT_NE(help, std::string::npos);
+  size_t eol = out.find('\n', help);
+  EXPECT_NE(out.substr(help, eol - help).find("\\n"), std::string::npos);
+  EXPECT_TRUE(WellFormed(out));
+}
+
+TEST(PromTextWriterTest, HistogramGrammar) {
+  HistogramSnapshot h;
+  h.ticks_per_ns = 1.0;  // 1 tick == 1 ns: le edges are 2^(i+1)-1 ns
+  h.count = 10;
+  h.sum_ticks = 5000;
+  h.max_ticks = 900;
+  h.buckets[4] = 3;  // 16..31 ticks
+  h.buckets[7] = 5;  // 128..255
+  h.buckets[9] = 2;  // 512..1023
+  PromTextWriter w;
+  w.Histogram("lat", "latency", h, {{"phase", "commit"}});
+  EXPECT_TRUE(WellFormed(w.str()));
+  // Cumulative counts: bucket 4 edge carries 3, bucket 7 edge 8, +Inf 10.
+  EXPECT_NE(w.str().find("} 3\n"), std::string::npos);
+  EXPECT_NE(w.str().find("} 8\n"), std::string::npos);
+  EXPECT_NE(w.str().find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(w.str().find("lat_count{phase=\"commit\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(w.str().find("lat_sum{"), std::string::npos);
+}
+
+TEST(PromTextWriterTest, EmptyHistogramStillWellFormed) {
+  HistogramSnapshot h;  // count == 0
+  PromTextWriter w;
+  w.Histogram("idle", "never sampled", h);
+  EXPECT_TRUE(WellFormed(w.str()));
+  EXPECT_NE(w.str().find("idle_count 0\n"), std::string::npos);
+}
+
+TEST(WriteSnapshotTest, CountersAndMaxAsGauge) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"commits", 123, MergeKind::kSum});
+  snap.counters.push_back({"max_rounds", 7, MergeKind::kMax});
+  snap.phases[static_cast<int>(Phase::kCommit)].count = 4;
+  snap.phases[static_cast<int>(Phase::kCommit)].sum_ticks = 400;
+  snap.phases[static_cast<int>(Phase::kCommit)].max_ticks = 200;
+  snap.phases[static_cast<int>(Phase::kCommit)].buckets[6] = 4;
+
+  PromTextWriter w;
+  WriteSnapshot(&w, snap, "mv3c_engine", {{"engine", "mv3c"}});
+  const std::string& out = w.str();
+  EXPECT_TRUE(WellFormed(out));
+  // kSum counter -> counter family with _total.
+  EXPECT_NE(out.find("# TYPE mv3c_engine_commits_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("mv3c_engine_commits_total{engine=\"mv3c\"} 123"),
+            std::string::npos);
+  // kMax counter -> gauge, no _total (a high-water mark is not monotonic).
+  EXPECT_NE(out.find("# TYPE mv3c_engine_max_rounds gauge"),
+            std::string::npos);
+  EXPECT_EQ(out.find("max_rounds_total"), std::string::npos);
+  // Non-empty phase -> histogram family; empty phases omitted.
+  EXPECT_NE(out.find("# TYPE mv3c_engine_phase_commit_seconds histogram"),
+            std::string::npos);
+  EXPECT_EQ(out.find("phase_execute"), std::string::npos);
+}
+
+TEST(WriteSnapshotTest, EmptySnapshotIsEmptyText) {
+  MetricsSnapshot snap;
+  PromTextWriter w;
+  WriteSnapshot(&w, snap, "x");
+  EXPECT_TRUE(w.str().empty());
+  EXPECT_TRUE(WellFormed(w.str()));
+}
+
+}  // namespace
+}  // namespace mv3c::obs

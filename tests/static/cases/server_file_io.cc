@@ -1,0 +1,18 @@
+// Lint-rule case (no_raw_io_outside_wal): the serving front-end's
+// allowlist sanctions *socket* sends in src/server/, nothing more — a
+// file write or fsync there still bypasses the WAL's epoch/CRC framing
+// and must fire. The self-test plants this at src/server/frame_writer.cc
+// to prove the allowlist is per-callee, not a blanket directory
+// exemption.
+#include <cstdio>
+#include <unistd.h>
+
+int main() {
+  std::FILE* f = std::fopen("/dev/null", "wb");
+  if (f == nullptr) return 1;
+  const char byte = 'x';
+  std::fwrite(&byte, 1, 1, f);  // rule hit: durable writes go through wal/
+  fsync(fileno(f));             // rule hit: fsync is the WAL's monopoly
+  std::fclose(f);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Clean control (no_raw_io_outside_wal allowlist): socket send() from a
+// src/server/ TU is sanctioned — network I/O is not durable file I/O, so
+// the WAL monopoly does not apply. Planted at src/server/conn.cc; must
+// produce zero findings.
+#include <sys/socket.h>
+
+int SendAll(int fd, const void* data, unsigned n) {
+  return static_cast<int>(send(fd, data, n, 0));
+}

@@ -80,6 +80,8 @@ VIOLATION_CASES=(
   ckpt_writer.cc=ckpt_raw_io.cc mvcc/shadow_ts.cc=global_ts_counter.cc
   wal/locked_io.cc=lock_scope_io.cc mvcc/shadow_epoch.cc=ts_discipline.cc
   shadow_queue.cc=guarded_coverage.cc shadow_flag.cc=atomic_order.cc
+  server/frame_writer.cc=server_file_io.cc
+  mvcc/shadow_socket.cc=socket_io.cc
 )
 
 # The clean control: the same raw I/O as the violation planted at
@@ -97,6 +99,7 @@ CLEAN_CASES=(
   mvcc/shadow_epoch.cc=ts_discipline_ok.cc
   shadow_queue.cc=guarded_coverage_ok.cc
   shadow_flag.cc=atomic_order_ok.cc
+  server/conn.cc=server_socket_ok.cc
 )
 
 # ---------------------------------------------------------------------------
@@ -135,6 +138,19 @@ if [[ ${HAVE_ANALYZER} -eq 1 ]]; then
     # calls.
     if ! printf '%s\n' "${OUT}" | grep -q "ckpt_writer.cc"; then
       echo "FAIL: analyzer (${pass}) missed the checkpoint-shaped raw-I/O TU:"
+      printf '%s\n' "${OUT}"
+      FAILED=1
+    fi
+    # The socket allowlist is per-callee, not per-directory: file I/O in
+    # src/server/ must still fire, and send() outside the allowlisted
+    # paths must fire.
+    if ! printf '%s\n' "${OUT}" | grep -q "server/frame_writer.cc"; then
+      echo "FAIL: analyzer (${pass}) — file I/O in src/server/ did not fire:"
+      printf '%s\n' "${OUT}"
+      FAILED=1
+    fi
+    if ! printf '%s\n' "${OUT}" | grep -q "shadow_socket.cc"; then
+      echo "FAIL: analyzer (${pass}) — send() outside the allowlist did not fire:"
       printf '%s\n' "${OUT}"
       FAILED=1
     fi

@@ -74,7 +74,9 @@ using namespace clang;
 
 namespace {
 
-constexpr const char kToolVersion[] = "mv3c_analyze-1";
+// Bump on any rule-table / allowlist / visitor change: the version feeds
+// the per-TU cache key, so stale caches cannot mask new findings.
+constexpr const char kToolVersion[] = "mv3c_analyze-2";
 
 // StringRef::startswith/endswith were renamed across the LLVM versions this
 // tool must build against; slice + operator== is stable everywhere.
@@ -128,6 +130,29 @@ const RuleInfo kRules[] = {
      "atomic operations must name an explicit memory_order"},
 };
 constexpr int kNumRules = sizeof(kRules) / sizeof(kRules[0]);
+
+// Explicit per-callee allowlist: rule exemptions narrower than a whole
+// file. exempt_re (above) silences every finding of a rule in a file;
+// an allowlist entry silences one *callee name* in matching paths, so the
+// rest of the rule keeps firing there. Used for the serving front-end:
+// socket sends are network I/O, not durable file I/O — the WAL monopoly
+// (DESIGN §5f) covers bytes that claim durability — but an fwrite/fsync
+// in src/server/ must still trip the rule (the lint selftest plants one).
+struct AllowlistEntry {
+  const char* rule;     // kRules[].name this entry narrows
+  const char* path_re;  // root-relative paths it applies to
+  const char* callee;   // the one function name it sanctions
+};
+
+const AllowlistEntry kAllowlist[] = {
+    {"no_raw_io_outside_wal", "(^|/)src/server/|(^|/)bench/loadgen",
+     "send"},
+    {"no_raw_io_outside_wal", "(^|/)src/server/|(^|/)bench/loadgen",
+     "sendto"},
+    {"no_raw_io_outside_wal", "(^|/)src/server/|(^|/)bench/loadgen",
+     "sendmsg"},
+};
+constexpr int kNumAllowlist = sizeof(kAllowlist) / sizeof(kAllowlist[0]);
 
 int RuleIndex(llvm::StringRef name) {
   for (int i = 0; i < kNumRules; ++i)
@@ -272,6 +297,9 @@ class ProtocolVisitor : public RecursiveASTVisitor<ProtocolVisitor> {
       rule_dirs_re_.emplace_back(kRules[i].dirs_re);
       rule_exempt_re_.emplace_back(kRules[i].exempt_re);
     }
+    for (int i = 0; i < kNumAllowlist; ++i) {
+      allowlist_path_re_.emplace_back(kAllowlist[i].path_re);
+    }
   }
 
   bool shouldVisitTemplateInstantiations() const { return false; }
@@ -328,6 +356,19 @@ class ProtocolVisitor : public RecursiveASTVisitor<ProtocolVisitor> {
       return false;
     if (rel_out) *rel_out = rel;
     return true;
+  }
+
+  // True when an AllowlistEntry sanctions calling `callee` from `rel`
+  // under rule `r`.
+  bool Allowlisted(int r, llvm::StringRef rel, llvm::StringRef callee) {
+    for (int i = 0; i < kNumAllowlist; ++i) {
+      if (callee == kAllowlist[i].callee &&
+          llvm::StringRef(kAllowlist[i].rule) == kRules[r].name &&
+          allowlist_path_re_[i].match(rel)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   void Report(int r, SourceLocation loc, llvm::StringRef rel,
@@ -690,10 +731,12 @@ class ProtocolVisitor : public RecursiveASTVisitor<ProtocolVisitor> {
 
     static const char* const kRawIo[] = {"write",  "fwrite",  "fsync",
                                          "fdatasync", "pwrite", "pwritev",
-                                         "writev", "sync_file_range"};
+                                         "writev", "sync_file_range",
+                                         "send",   "sendto",  "sendmsg"};
     llvm::StringRef rel;
     for (const char* n : kRawIo) {
-      if (name == n && InRuleScope(kRawIoOutsideWal, loc, &rel)) {
+      if (name == n && InRuleScope(kRawIoOutsideWal, loc, &rel) &&
+          !Allowlisted(kRawIoOutsideWal, rel, name)) {
         Report(kRawIoOutsideWal, loc, rel,
                ("raw " + name +
                 " outside src/wal/: durable bytes must flow through "
@@ -715,7 +758,8 @@ class ProtocolVisitor : public RecursiveASTVisitor<ProtocolVisitor> {
         "fallocate", "mkdir",  "rmdir",     "opendir",       "closedir",
         "malloc",  "calloc",   "realloc",   "free",          "posix_memalign",
         "aligned_alloc", "mmap", "munmap",  "usleep",        "nanosleep",
-        "sleep"};
+        "sleep",   "send",     "sendto",    "sendmsg",       "recv",
+        "recvfrom", "recvmsg"};
     for (const char* n : kBlocking) {
       if (name == n) {
         NoteIoCall(loc, name.str());
@@ -904,6 +948,7 @@ class ProtocolVisitor : public RecursiveASTVisitor<ProtocolVisitor> {
   llvm::Regex ts_counter_re_;
   std::vector<llvm::Regex> rule_dirs_re_;
   std::vector<llvm::Regex> rule_exempt_re_;
+  std::vector<llvm::Regex> allowlist_path_re_;
   std::map<FileID, std::string> file_cache_;
   std::set<std::string> scanned_;
   std::set<std::string> seen_deps_;
